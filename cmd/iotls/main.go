@@ -1,0 +1,228 @@
+// Command iotls drives the IoTLS reproduction from the command line.
+//
+// Usage:
+//
+//	iotls passive            run the 2-year passive simulation and print Figures 1-3 + Table 8
+//	iotls active             run the active attack suites and print Tables 5-7
+//	iotls probe              run root-store exploration and print Table 9 + Figure 4
+//	iotls fingerprint        capture an active snapshot and print Figure 5
+//	iotls report             run the full study and print every artifact
+//	iotls tables             print the static methodology tables (1-4)
+//	iotls export -o FILE     run the passive simulation and export observations as JSONL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/audit"
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/driver"
+	"repro/internal/guard"
+	"repro/internal/report"
+	"repro/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "passive":
+		err = runPassive()
+	case "active":
+		err = runActive()
+	case "probe":
+		err = runProbe()
+	case "fingerprint":
+		err = runFingerprint()
+	case "report":
+		err = runReport(args)
+	case "tables":
+		err = runTables()
+	case "export":
+		err = runExport(args)
+	case "audit":
+		err = runAudit()
+	case "guard":
+		err = runGuard()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iotls:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: iotls <command>
+
+commands:
+  passive      run the 2-year passive simulation (Figures 1-3, Table 8)
+  active       run the active attack suites (Tables 5-7)
+  probe        run root-store exploration (Table 9, Figure 4)
+  fingerprint  capture an active snapshot (Figure 5)
+  report       run everything and print the full report (-dir writes files)
+  tables       print the static methodology tables (1-4)
+  export       run the passive simulation and export JSONL (-o file)
+  audit        grade every device's TLS offer via the audit service (§6)
+  guard        boot all devices behind the gateway guard and report blocks (§6)`)
+}
+
+func runPassive() error {
+	s := core.NewStudy()
+	stats, err := s.RunPassive()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("passive simulation: %d months, %d handshakes representing %d connections\n\n",
+		stats.Months, stats.Handshakes, stats.WeightedConns)
+	fmt.Println(analysis.BuildFigure1(s.Store, s.NameOf).Render())
+	fmt.Println(analysis.BuildFigure2(s.Store, s.NameOf).Render())
+	fmt.Println(analysis.BuildFigure3(s.Store, s.NameOf).Render())
+	fmt.Println(analysis.BuildTable8(s.Store, deviceIDs(s), s.NameOf).Render())
+	fmt.Println(analysis.BuildPriorWorkComparison(s.Store).Render())
+	fmt.Println(analysis.BuildDatasetSummary(s.Store).Render())
+	return nil
+}
+
+func runActive() error {
+	s := core.NewStudy()
+	fmt.Println(analysis.RenderTable5(s.RunDowngradeSuite(), s.NameOf))
+	fmt.Println(analysis.RenderTable6(s.RunOldVersionSuite(), s.NameOf))
+	fmt.Println(analysis.RenderTable7(s.RunInterceptionSuite(), s.NameOf))
+	fmt.Println(analysis.BuildPassthroughStat(s.RunPassthroughSuite()).Render())
+	return nil
+}
+
+func runProbe() error {
+	s := core.NewStudy()
+	reports, candidates, err := s.RunProbe()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("probe candidates: %d, amenable: %d\n\n", candidates, len(reports))
+	fmt.Println(analysis.RenderTable9(reports, s.NameOf))
+	fmt.Println(analysis.BuildFigure4(reports, s.NameOf).Render())
+	return nil
+}
+
+func runFingerprint() error {
+	s := core.NewStudy()
+	store, err := s.CaptureActiveSnapshot()
+	if err != nil {
+		return err
+	}
+	fig := analysis.BuildFigure5(store, device.ReferenceDB(), s.NameOf)
+	fmt.Println(fig.Render())
+	return nil
+}
+
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	dir := fs.String("dir", "", "also write per-artifact files to this directory")
+	fs.Parse(args)
+	s := core.NewStudy()
+	rep, err := s.RunAll()
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Render(s))
+	if *dir != "" {
+		files, err := report.Write(*dir, s, rep)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d artifacts to %s\n", len(files), *dir)
+	}
+	return nil
+}
+
+func runTables() error {
+	s := core.NewStudy()
+	fmt.Println(analysis.RenderTable1(s.Registry))
+	fmt.Println(analysis.RenderTable2())
+	fmt.Println(analysis.RenderTable3())
+	fmt.Println(analysis.RenderTable4(analysis.BuildTable4()))
+	return nil
+}
+
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "observations.jsonl", "output file")
+	format := fs.String("format", "jsonl", "output format: jsonl or csv")
+	months := fs.Int("months", 27, "number of study months to simulate")
+	fs.Parse(args)
+
+	s := core.NewStudy()
+	last := device.StudyStart
+	for i := 1; i < *months; i++ {
+		last = last.Next()
+	}
+	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
+	if _, err := gen.Run(device.StudyStart, last); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var n int
+	switch *format {
+	case "jsonl":
+		n, err = capture.WriteJSONL(f, s.Store)
+	case "csv":
+		n, err = capture.WriteCSV(f, s.Store)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d observations to %s (%s)\n", n, *out, *format)
+	return nil
+}
+
+func runAudit() error {
+	s := core.NewStudy()
+	s.Clock.AdvanceTo(device.ActiveSnapshot.Start())
+	svc := audit.NewService(s.Network, "audit.iotls.example", device.OperationalCAs(s.Registry.Universe)[0].Pair)
+	for _, dev := range s.Registry.ActiveDevices() {
+		dst := device.Destination{Host: svc.Host, Slot: 0, Boot: true, MonthlyConns: 1}
+		driver.Connect(s.Network, dev, dst, device.ActiveSnapshot, 1)
+	}
+	fmt.Print(svc.Summary())
+	return nil
+}
+
+func runGuard() error {
+	s := core.NewStudy()
+	s.Clock.AdvanceTo(device.ActiveSnapshot.Start())
+	g := guard.New(s.Network, guard.DefaultPolicy)
+	uninstall := g.Install()
+	defer uninstall()
+	for i, dev := range s.Registry.ActiveDevices() {
+		driver.Boot(s.Network, dev, device.ActiveSnapshot, uint64(i)*1000)
+	}
+	fmt.Print(g.Report())
+	return nil
+}
+
+func deviceIDs(s *core.Study) []string {
+	var out []string
+	for _, d := range s.Registry.Devices {
+		out = append(out, d.ID)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// The CLI entry points are thin wrappers over internal/core; these
+// smoke tests exercise the cheap ones end to end (stdout goes to the
+// test log).
+func TestRunTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	old := os.Stdout
+	devnull, _ := os.Open(os.DevNull)
+	defer devnull.Close()
+	os.Stdout, _ = os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer func() { os.Stdout = old }()
+	if err := runTables(); err != nil {
+		t.Fatalf("runTables: %v", err)
+	}
+}
+
+func TestRunExportSmallWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tmp, err := os.CreateTemp(t.TempDir(), "obs-*.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	old := os.Stdout
+	os.Stdout, _ = os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer func() { os.Stdout = old }()
+	if err := runExport([]string{"-months", "1", "-o", tmp.Name()}); err != nil {
+		t.Fatalf("runExport: %v", err)
+	}
+	info, err := os.Stat(tmp.Name())
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("export produced no data: %v", err)
+	}
+}

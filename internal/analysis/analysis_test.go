@@ -1,0 +1,390 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/device"
+	"repro/internal/fingerprint"
+	"repro/internal/mitm"
+	"repro/internal/wire"
+)
+
+func mon(y int, m time.Month) clock.Month { return clock.Month{Year: y, Mon: m} }
+
+// obs builds a minimal observation.
+func obs(dev string, m clock.Month, weight int, advMax, neg ciphers.Version, suites []ciphers.Suite, negSuite ciphers.Suite, established bool) *capture.Observation {
+	return &capture.Observation{
+		Device: dev, Host: "h.example.com", Port: 443,
+		Time: m.Start().Add(time.Hour), Weight: weight,
+		SawClientHello: true, SawServerHello: established, Established: established,
+		AdvertisedMax: advMax, AdvertisedSuites: suites,
+		NegotiatedVersion: neg, NegotiatedSuite: negSuite,
+	}
+}
+
+func ident(id string) string { return id }
+
+func TestHeatmapBasics(t *testing.T) {
+	months := clock.MonthRange(mon(2018, 1), mon(2018, 3))
+	h := NewHeatmap("test", months)
+	h.Set("dev", mon(2018, 2), 0.5)
+	if got := h.Get("dev", mon(2018, 2)); got != 0.5 {
+		t.Fatalf("Get = %f", got)
+	}
+	if got := h.Get("dev", mon(2018, 1)); got != -1 {
+		t.Fatalf("unset cell = %f, want -1", got)
+	}
+	if got := h.Get("nobody", mon(2018, 1)); got != -1 {
+		t.Fatalf("missing row = %f", got)
+	}
+	// Out-of-range set is ignored.
+	h.Set("dev", mon(2020, 1), 1.0)
+	if h.MaxFraction("dev") != 0.5 {
+		t.Fatalf("MaxFraction = %f", h.MaxFraction("dev"))
+	}
+	out := h.Render()
+	if !strings.Contains(out, "dev") || !strings.Contains(out, "legend") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestShadeMapping(t *testing.T) {
+	cases := map[float64]byte{
+		-1:    ' ',
+		0:     '.',
+		0.05:  '0',
+		0.15:  '1',
+		0.95:  '9',
+		0.999: '#',
+		1.0:   '#',
+	}
+	for frac, want := range cases {
+		if got := shade(frac); got != want {
+			t.Errorf("shade(%f) = %c, want %c", frac, got, want)
+		}
+	}
+}
+
+func TestBuildFigure1Classification(t *testing.T) {
+	store := capture.NewStore()
+	m := device.StudyStart
+	clean := []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	// Pure 1.2 device.
+	store.Add(obs("pure", m, 100, ciphers.TLS12, ciphers.TLS12, clean, clean[0], true))
+	// Mixed device: advertises 1.3.
+	store.Add(obs("mixed", m, 100, ciphers.TLS13, ciphers.TLS12, clean, clean[0], true))
+	fig := BuildFigure1(store, ident)
+	if len(fig.Pure12Devices) != 1 || fig.Pure12Devices[0] != "pure" {
+		t.Fatalf("pure = %v", fig.Pure12Devices)
+	}
+	if len(fig.MixedDevices) != 1 || fig.MixedDevices[0] != "mixed" {
+		t.Fatalf("mixed = %v", fig.MixedDevices)
+	}
+	if f := fig.Advertised[ciphers.Band13].Get("mixed", m); f < 0.99 {
+		t.Fatalf("mixed 1.3 advertised = %f", f)
+	}
+	if !strings.Contains(fig.Render(), "Figure 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestBuildFigure1WeightedFractions(t *testing.T) {
+	store := capture.NewStore()
+	m := device.StudyStart
+	clean := []ciphers.Suite{ciphers.TLS_RSA_WITH_AES_128_CBC_SHA}
+	store.Add(obs("dev", m, 300, ciphers.TLS12, ciphers.TLS12, clean, clean[0], true))
+	store.Add(obs("dev", m, 100, ciphers.TLS10, ciphers.TLS10, clean, clean[0], true))
+	fig := BuildFigure1(store, ident)
+	if f := fig.Advertised[ciphers.Band12].Get("dev", m); f < 0.74 || f > 0.76 {
+		t.Fatalf("weighted 1.2 fraction = %f, want 0.75", f)
+	}
+	if f := fig.Established[ciphers.BandOld].Get("dev", m); f < 0.24 || f > 0.26 {
+		t.Fatalf("weighted old fraction = %f, want 0.25", f)
+	}
+}
+
+func TestBuildFigure2TransitionDetection(t *testing.T) {
+	store := capture.NewStore()
+	weak := []ciphers.Suite{ciphers.TLS_RSA_WITH_RC4_128_SHA}
+	clean := []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	for i, m := 0, device.StudyStart; i < 6; i, m = i+1, m.Next() {
+		suites := weak
+		if i >= 3 {
+			suites = clean
+		}
+		store.Add(obs("dev", m, 10, ciphers.TLS12, ciphers.TLS12, suites, suites[0], true))
+	}
+	fig := BuildFigure2(store, ident)
+	wantM := mon(2018, 4)
+	if m, ok := fig.Transitions["dev"]; !ok || m != wantM {
+		t.Fatalf("transition = %v (%v), want %v", m, ok, wantM)
+	}
+	if len(fig.Shown) != 1 {
+		t.Fatalf("shown = %v", fig.Shown)
+	}
+}
+
+func TestBuildFigure3TransitionDetection(t *testing.T) {
+	store := capture.NewStore()
+	rsa := []ciphers.Suite{ciphers.TLS_RSA_WITH_AES_128_CBC_SHA}
+	pfs := []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	for i, m := 0, device.StudyStart; i < 6; i, m = i+1, m.Next() {
+		suites, neg := rsa, rsa[0]
+		if i >= 2 {
+			suites, neg = pfs, pfs[0]
+		}
+		store.Add(obs("dev", m, 10, ciphers.TLS12, ciphers.TLS12, suites, neg, true))
+	}
+	fig := BuildFigure3(store, ident)
+	if m, ok := fig.Transitions["dev"]; !ok || m != mon(2018, 3) {
+		t.Fatalf("PFS transition = %v (%v), want 2018-03", m, ok)
+	}
+	out := fig.Render()
+	if !strings.Contains(out, "transition: dev") {
+		t.Fatalf("render missing transition: %s", out)
+	}
+}
+
+func TestCipherFigureIgnoresUnestablished(t *testing.T) {
+	store := capture.NewStore()
+	pfs := []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	o := obs("dev", device.StudyStart, 10, ciphers.TLS12, 0, pfs, 0, false)
+	store.Add(o)
+	fig := BuildFigure3(store, ident)
+	if len(fig.Shown)+len(fig.Omitted) != 0 {
+		t.Fatal("unestablished connection counted in Figure 3")
+	}
+	// But Figure 2 counts it (advertisement needs only a ClientHello).
+	fig2 := BuildFigure2(store, ident)
+	if len(fig2.Shown)+len(fig2.Omitted) != 1 {
+		t.Fatal("hello-only connection missing from Figure 2")
+	}
+}
+
+func TestTable8FromObservations(t *testing.T) {
+	store := capture.NewStore()
+	now := device.StudyStart.Start()
+	store.AddRevocation(capture.RevocationEvent{Device: "tv", Host: "ocsp.x", Kind: capture.RevocationOCSP, Time: now})
+	store.AddRevocation(capture.RevocationEvent{Device: "tv", Host: "crl.x", Kind: capture.RevocationCRL, Time: now})
+	o := obs("stapler", device.StudyStart, 1, ciphers.TLS12, ciphers.TLS12,
+		[]ciphers.Suite{ciphers.TLS_RSA_WITH_AES_128_CBC_SHA}, ciphers.TLS_RSA_WITH_AES_128_CBC_SHA, true)
+	o.RequestedOCSPStaple = true
+	store.Add(o)
+
+	t8 := BuildTable8(store, []string{"tv", "stapler", "nothing"}, ident)
+	if len(t8.CRL) != 1 || t8.CRL[0] != "tv" {
+		t.Fatalf("CRL = %v", t8.CRL)
+	}
+	if len(t8.OCSP) != 1 || len(t8.Stapling) != 1 || t8.Stapling[0] != "stapler" {
+		t.Fatalf("OCSP/stapling = %v/%v", t8.OCSP, t8.Stapling)
+	}
+	if t8.NoRevocation != 1 {
+		t.Fatalf("NoRevocation = %d", t8.NoRevocation)
+	}
+	if !strings.Contains(t8.Render(), "OCSP Stapling") {
+		t.Fatal("render missing stapling row")
+	}
+}
+
+func TestBuildTable4Live(t *testing.T) {
+	rows := BuildTable4()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Library] = r
+	}
+	if r := byName["openssl-1.1.1i"]; r.BadSignature != "decrypt_error" || r.UnknownCA != "unknown_ca" || !r.Amenable {
+		t.Fatalf("openssl row = %+v", r)
+	}
+	if r := byName["mbedtls-2.21.0"]; r.BadSignature != "bad_certificate" || r.UnknownCA != "unknown_ca" || !r.Amenable {
+		t.Fatalf("mbedtls row = %+v", r)
+	}
+	if r := byName["wolfssl-4.1.0"]; r.Amenable {
+		t.Fatalf("wolfssl row = %+v", r)
+	}
+	if r := byName["gnutls-3.6.15"]; r.BadSignature != "No Alert" || r.Amenable {
+		t.Fatalf("gnutls row = %+v", r)
+	}
+	out := RenderTable4(rows)
+	if !strings.Contains(out, "decrypt_error") {
+		t.Fatal("render missing alert names")
+	}
+}
+
+func TestPriorWorkComparisonComputation(t *testing.T) {
+	store := capture.NewStore()
+	rc4 := []ciphers.Suite{ciphers.TLS_RSA_WITH_RC4_128_SHA}
+	clean := []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	nov := mon(2019, time.November)
+	store.Add(obs("a", nov, 170, ciphers.TLS13, ciphers.TLS13, clean, clean[0], true))
+	store.Add(obs("b", nov, 830, ciphers.TLS12, ciphers.TLS12, rc4, rc4[0], true))
+	c := BuildPriorWorkComparison(store)
+	if c.TLS13AdvertiseNov2019 < 0.16 || c.TLS13AdvertiseNov2019 > 0.18 {
+		t.Fatalf("TLS13 fraction = %f", c.TLS13AdvertiseNov2019)
+	}
+	if c.RC4AdvertiseOverall < 0.82 || c.RC4AdvertiseOverall > 0.84 {
+		t.Fatalf("RC4 fraction = %f", c.RC4AdvertiseOverall)
+	}
+	if !strings.Contains(c.Render(), "TLS 1.3") {
+		t.Fatal("render missing stats")
+	}
+}
+
+func TestPassthroughStatAggregation(t *testing.T) {
+	reports := []*mitm.PassthroughReport{
+		{Device: "a", AttackHosts: []string{"x", "y"}, NewHosts: []string{"z"}},           // 0.5
+		{Device: "b", AttackHosts: []string{"x", "y", "w", "v"}, NewHosts: nil},           // 0
+		{Device: "c", AttackHosts: []string{"x", "y", "w", "v"}, NewHosts: []string{"q"}}, // 0.25
+	}
+	s := BuildPassthroughStat(reports)
+	if s.MeanNewHostFraction < 0.24 || s.MeanNewHostFraction > 0.26 {
+		t.Fatalf("mean = %f, want 0.25", s.MeanNewHostFraction)
+	}
+	s.NoNewValidationFailures = true
+	out := s.Render()
+	if !strings.Contains(out, "no additional certificate-validation failures") {
+		t.Fatal("render missing negative result")
+	}
+	if BuildPassthroughStat(nil).MeanNewHostFraction != 0 {
+		t.Fatal("empty aggregation nonzero")
+	}
+}
+
+func TestDatasetSummary(t *testing.T) {
+	store := capture.NewStore()
+	suites := []ciphers.Suite{ciphers.TLS_RSA_WITH_AES_128_CBC_SHA}
+	store.Add(obs("a", device.StudyStart, 100, ciphers.TLS12, ciphers.TLS12, suites, suites[0], true))
+	store.Add(obs("b", device.StudyStart, 300, ciphers.TLS12, ciphers.TLS12, suites, suites[0], true))
+	store.Add(obs("c", device.StudyStart, 800, ciphers.TLS12, ciphers.TLS12, suites, suites[0], true))
+	s := BuildDatasetSummary(store)
+	if s.TotalConnections != 1200 || s.Devices != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.PerDeviceMean != 400 || s.PerDeviceMedian != 300 {
+		t.Fatalf("mean/median = %f/%f", s.PerDeviceMean, s.PerDeviceMedian)
+	}
+	if !strings.Contains(s.Render(), "median") {
+		t.Fatal("render missing median")
+	}
+}
+
+func TestVersionDiversityComputation(t *testing.T) {
+	store := capture.NewStore()
+	suites := []ciphers.Suite{ciphers.TLS_RSA_WITH_AES_128_CBC_SHA}
+	// Device "a": 1.2 then 1.3 to the same host.
+	store.Add(obs("a", mon(2018, 1), 1, ciphers.TLS12, ciphers.TLS12, suites, suites[0], true))
+	store.Add(obs("a", mon(2019, 6), 1, ciphers.TLS13, ciphers.TLS12, suites, suites[0], true))
+	// Device "b": always 1.2.
+	store.Add(obs("b", mon(2018, 1), 1, ciphers.TLS12, ciphers.TLS12, suites, suites[0], true))
+	d := BuildVersionDiversity(store, ident)
+	if len(d.MultiVersionDevices) != 1 || d.MultiVersionDevices[0] != "a" {
+		t.Fatalf("multi = %v", d.MultiVersionDevices)
+	}
+	if len(d.SameDestinationDevices) != 1 {
+		t.Fatalf("same-dest = %v", d.SameDestinationDevices)
+	}
+	if !strings.Contains(d.Render(), "version diversity") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRenderStaticTables(t *testing.T) {
+	clk := clock.NewSimulated(device.StudyStart.Start())
+	reg := device.NewRegistry(clk)
+	t1 := RenderTable1(reg)
+	for _, want := range []string{"Cameras", "Zmodo Doorbell", "Samsung TV*", "Appliances"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("table 1 missing %q", want)
+		}
+	}
+	t2 := RenderTable2()
+	if !strings.Contains(t2, "NoValidation") || !strings.Contains(t2, "BasicConstraints") {
+		t.Error("table 2 incomplete")
+	}
+	t3 := RenderTable3()
+	for _, want := range []string{"ubuntu", "android", "mozilla", "microsoft", "47", "2010"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("table 3 missing %q", want)
+		}
+	}
+}
+
+func TestFigure4Render(t *testing.T) {
+	fig := &Figure4{
+		Years: map[string]map[int]int{
+			"LG TV": {2013: 2, 2018: 10, 2019: 20},
+		},
+		Order: []string{"LG TV"},
+	}
+	out := fig.Render()
+	if !strings.Contains(out, "LG TV") || !strings.Contains(out, "2013") {
+		t.Fatalf("render: %s", out)
+	}
+	if fig.TotalStale(2018) != 10 || fig.TotalStale(2012) != 0 {
+		t.Fatal("TotalStale wrong")
+	}
+}
+
+func TestFigure5FromStore(t *testing.T) {
+	store := capture.NewStore()
+	mkObs := func(dev string, suites []ciphers.Suite) *capture.Observation {
+		o := obs(dev, device.StudyStart, 1, ciphers.TLS12, ciphers.TLS12, suites, suites[0], true)
+		o.Fingerprint = fingerprint.Fingerprint{
+			Version: ciphers.TLS12,
+			Suites:  suites,
+		}
+		return o
+	}
+	shared := []ciphers.Suite{ciphers.TLS_RSA_WITH_AES_128_CBC_SHA}
+	unique := []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	store.Add(mkObs("a", shared))
+	store.Add(mkObs("b", shared))
+	store.Add(mkObs("b", unique))
+	fig := BuildFigure5(store, fingerprint.NewDB(), ident)
+	if len(fig.MultiInstance) != 1 || fig.MultiInstance[0] != "b" {
+		t.Fatalf("multi = %v", fig.MultiInstance)
+	}
+	if len(fig.SharedWithOthers) != 2 {
+		t.Fatalf("shared = %v", fig.SharedWithOthers)
+	}
+	if !strings.Contains(fig.Render(), "fingerprint") {
+		t.Fatal("render empty")
+	}
+}
+
+func TestRenderDynamicTables(t *testing.T) {
+	down := []*mitm.DowngradeReport{
+		{Device: "d1", OnIncomplete: true, DowngradedHosts: 3, TotalHosts: 5, Description: "falls back to using SSL 3.0"},
+		{Device: "d2"}, // not downgraded: omitted
+	}
+	out := RenderTable5(down, ident)
+	if !strings.Contains(out, "d1") || strings.Contains(out, "d2") {
+		t.Fatalf("table 5: %s", out)
+	}
+	old := []*mitm.OldVersionReport{
+		{Device: "d1", TLS10OK: true, TLS11OK: true},
+		{Device: "d2"}, // omitted
+	}
+	out = RenderTable6(old, ident)
+	if !strings.Contains(out, "d1") || strings.Contains(out, "d2") {
+		t.Fatalf("table 6: %s", out)
+	}
+	inter := []*mitm.InterceptionReport{
+		{Device: "v", TotalHosts: 2, PerAttack: map[mitm.Attack][]mitm.HostResult{
+			mitm.AttackNoValidation: {{Host: "h", Vulnerable: true, Sensitive: true}},
+		}},
+		{Device: "safe", TotalHosts: 1, PerAttack: map[mitm.Attack][]mitm.HostResult{}},
+	}
+	out = RenderTable7(inter, ident)
+	if !strings.Contains(out, "v") || strings.Contains(out, "safe") {
+		t.Fatalf("table 7: %s", out)
+	}
+	_ = wire.AlertUnknownCA
+}

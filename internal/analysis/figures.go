@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/device"
+	"repro/internal/fingerprint"
+	"repro/internal/probe"
+)
+
+// studyMonths returns the paper's passive window.
+func studyMonths() []clock.Month {
+	return clock.MonthRange(device.StudyStart, device.StudyEnd)
+}
+
+// Figure1 is the TLS-version heatmap (advertised and established, three
+// bands per device).
+type Figure1 struct {
+	Advertised  map[ciphers.VersionBand]*Heatmap
+	Established map[ciphers.VersionBand]*Heatmap
+	// Pure12Devices used TLS 1.2 for effectively all advertised and
+	// established connections (omitted from the paper's figure: 28).
+	Pure12Devices []string
+	// MixedDevices appear in the figure.
+	MixedDevices []string
+}
+
+// BuildFigure1 computes the figure from the capture store.
+func BuildFigure1(store *capture.Store, nameOf func(string) string) *Figure1 {
+	months := studyMonths()
+	fig := &Figure1{
+		Advertised:  map[ciphers.VersionBand]*Heatmap{},
+		Established: map[ciphers.VersionBand]*Heatmap{},
+	}
+	for _, band := range []ciphers.VersionBand{ciphers.Band13, ciphers.Band12, ciphers.BandOld} {
+		fig.Advertised[band] = NewHeatmap(fmt.Sprintf("Figure 1 (advertised, TLS %s)", band), months)
+		fig.Established[band] = NewHeatmap(fmt.Sprintf("Figure 1 (established, TLS %s)", band), months)
+	}
+
+	type key struct {
+		dev string
+		m   clock.Month
+	}
+	advTotal := map[key]int{}
+	adv := map[key]map[ciphers.VersionBand]int{}
+	estTotal := map[key]int{}
+	est := map[key]map[ciphers.VersionBand]int{}
+	devices := map[string]bool{}
+
+	for _, o := range store.All() {
+		if !o.SawClientHello {
+			continue
+		}
+		k := key{o.Device, o.Month}
+		devices[o.Device] = true
+		advTotal[k] += o.Weight
+		if adv[k] == nil {
+			adv[k] = map[ciphers.VersionBand]int{}
+		}
+		adv[k][o.AdvertisedMax.Band()] += o.Weight
+		if o.Established {
+			estTotal[k] += o.Weight
+			if est[k] == nil {
+				est[k] = map[ciphers.VersionBand]int{}
+			}
+			est[k][o.NegotiatedVersion.Band()] += o.Weight
+		}
+	}
+
+	// Fill heatmaps and classify devices.
+	var ids []string
+	for id := range devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		label := nameOf(id)
+		pure := true
+		for _, m := range months {
+			k := key{id, m}
+			if advTotal[k] == 0 {
+				continue
+			}
+			for _, band := range []ciphers.VersionBand{ciphers.Band13, ciphers.Band12, ciphers.BandOld} {
+				fa := float64(adv[k][band]) / float64(advTotal[k])
+				fig.Advertised[band].Set(label, m, fa)
+				if band != ciphers.Band12 && fa > 0.01 {
+					pure = false
+				}
+				if estTotal[k] > 0 {
+					fe := float64(est[k][band]) / float64(estTotal[k])
+					fig.Established[band].Set(label, m, fe)
+					if band != ciphers.Band12 && fe > 0.01 {
+						pure = false
+					}
+				}
+			}
+		}
+		if pure {
+			fig.Pure12Devices = append(fig.Pure12Devices, label)
+		} else {
+			fig.MixedDevices = append(fig.MixedDevices, label)
+		}
+	}
+	return fig
+}
+
+// Render draws the six band heatmaps.
+func (f *Figure1) Render() string {
+	var b strings.Builder
+	b.WriteString("== Figure 1: TLS version support over time ==\n")
+	fmt.Fprintf(&b, "%d devices pure TLS 1.2 (omitted), %d devices shown\n\n",
+		len(f.Pure12Devices), len(f.MixedDevices))
+	for _, band := range []ciphers.VersionBand{ciphers.Band13, ciphers.Band12, ciphers.BandOld} {
+		b.WriteString(f.Advertised[band].Render())
+		b.WriteByte('\n')
+		b.WriteString(f.Established[band].Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CipherFigure covers Figures 2 and 3, which share a shape: one
+// fraction per device per month.
+type CipherFigure struct {
+	Heatmap *Heatmap
+	// Shown lists devices appearing in the figure; Omitted those the
+	// paper leaves out (near-zero for Fig 2, near-one for Fig 3).
+	Shown   []string
+	Omitted []string
+	// Transitions maps device -> month of the first observed behaviour
+	// change (weak suites dropped, or PFS adopted).
+	Transitions map[string]clock.Month
+}
+
+// BuildFigure2 computes the insecure-ciphersuite advertisement figure.
+func BuildFigure2(store *capture.Store, nameOf func(string) string) *CipherFigure {
+	return buildCipherFigure(store, nameOf,
+		"Figure 2: fraction of connections advertising insecure ciphersuites",
+		func(o *capture.Observation) (bool, bool) {
+			return o.SawClientHello, o.AdvertisesInsecure()
+		},
+		// Figure 2 omits devices that rarely advertise insecure suites.
+		func(maxFrac float64) bool { return maxFrac > 0.05 },
+		// Transition: advertised weak, then stopped.
+		transitionDown,
+	)
+}
+
+// BuildFigure3 computes the strong-ciphersuite establishment figure.
+func BuildFigure3(store *capture.Store, nameOf func(string) string) *CipherFigure {
+	return buildCipherFigure(store, nameOf,
+		"Figure 3: fraction of connections established with strong (PFS) ciphersuites",
+		func(o *capture.Observation) (bool, bool) {
+			return o.Established, o.EstablishedStrong()
+		},
+		// Figure 3 omits devices that are already (almost) always strong.
+		func(maxFrac float64) bool { return maxFrac < 0.95 },
+		// Transition: established weak, then adopted PFS.
+		transitionUp,
+	)
+}
+
+func transitionDown(fracs []float64) (int, bool) {
+	wasHigh := false
+	for i, f := range fracs {
+		if f > 0.5 {
+			wasHigh = true
+		}
+		if wasHigh && f >= 0 && f < 0.05 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func transitionUp(fracs []float64) (int, bool) {
+	wasLow := false
+	for i, f := range fracs {
+		if f >= 0 && f < 0.5 {
+			wasLow = true
+		}
+		// A device with several instances adopts PFS in one of them;
+		// the device-level fraction jumps but need not reach 1.0.
+		if wasLow && f > 0.75 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func buildCipherFigure(
+	store *capture.Store,
+	nameOf func(string) string,
+	title string,
+	classify func(*capture.Observation) (counted, hit bool),
+	shown func(maxFrac float64) bool,
+	transition func([]float64) (int, bool),
+) *CipherFigure {
+	months := studyMonths()
+	hm := NewHeatmap(title, months)
+	type key struct {
+		dev string
+		m   clock.Month
+	}
+	totals := map[key]int{}
+	hits := map[key]int{}
+	devices := map[string]bool{}
+	for _, o := range store.All() {
+		counted, hit := classify(o)
+		if !counted {
+			continue
+		}
+		k := key{o.Device, o.Month}
+		devices[o.Device] = true
+		totals[k] += o.Weight
+		if hit {
+			hits[k] += o.Weight
+		}
+	}
+	var ids []string
+	for id := range devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fig := &CipherFigure{Heatmap: hm, Transitions: map[string]clock.Month{}}
+	for _, id := range ids {
+		label := nameOf(id)
+		for _, m := range months {
+			k := key{id, m}
+			if totals[k] == 0 {
+				continue
+			}
+			hm.Set(label, m, float64(hits[k])/float64(totals[k]))
+		}
+		if shown(hm.MaxFraction(label)) {
+			fig.Shown = append(fig.Shown, label)
+		} else {
+			fig.Omitted = append(fig.Omitted, label)
+		}
+		if idx, ok := transition(hm.Rows[label]); ok {
+			fig.Transitions[label] = months[idx]
+		}
+	}
+	return fig
+}
+
+// Render draws the figure.
+func (f *CipherFigure) Render() string {
+	var b strings.Builder
+	b.WriteString(f.Heatmap.Render())
+	fmt.Fprintf(&b, "%d devices shown, %d omitted\n", len(f.Shown), len(f.Omitted))
+	if len(f.Transitions) > 0 {
+		var devs []string
+		for d := range f.Transitions {
+			devs = append(devs, d)
+		}
+		sort.Strings(devs)
+		for _, d := range devs {
+			fmt.Fprintf(&b, "transition: %s at %s\n", d, f.Transitions[d])
+		}
+	}
+	return b.String()
+}
+
+// Figure4 is the staleness histogram: per device, the removal years of
+// deprecated-yet-trusted root certificates.
+type Figure4 struct {
+	// Years maps device -> removal year -> count.
+	Years map[string]map[int]int
+	Order []string
+}
+
+// BuildFigure4 computes the figure from probe reports.
+func BuildFigure4(reports []*probe.Report, nameOf func(string) string) *Figure4 {
+	fig := &Figure4{Years: map[string]map[int]int{}}
+	for _, rep := range reports {
+		label := nameOf(rep.Device)
+		fig.Years[label] = rep.StaleIncluded()
+		fig.Order = append(fig.Order, label)
+	}
+	sort.Strings(fig.Order)
+	return fig
+}
+
+// Render draws the histogram.
+func (f *Figure4) Render() string {
+	minY, maxY := 2013, 2020
+	t := &table{header: []string{"Device"}}
+	for y := minY; y <= maxY; y++ {
+		t.header = append(t.header, fmt.Sprintf("%d", y))
+	}
+	t.header = append(t.header, "total")
+	for _, dev := range f.Order {
+		row := []string{dev}
+		total := 0
+		for y := minY; y <= maxY; y++ {
+			n := f.Years[dev][y]
+			total += n
+			row = append(row, fmt.Sprintf("%d", n))
+		}
+		row = append(row, fmt.Sprintf("%d", total))
+		t.add(row...)
+	}
+	return t.render("== Figure 4: removal year of deprecated root certificates still trusted ==")
+}
+
+// TotalStale sums stale certificates across devices for year.
+func (f *Figure4) TotalStale(year int) int {
+	n := 0
+	for _, hist := range f.Years {
+		n += hist[year]
+	}
+	return n
+}
+
+// Figure5 is the fingerprint sharing graph.
+type Figure5 struct {
+	Graph *fingerprint.Graph
+	// SingleInstance / MultiInstance partition the devices by distinct
+	// fingerprint count (§5.3: 18 vs 14 of 32).
+	SingleInstance []string
+	MultiInstance  []string
+	// SharedWithOthers lists devices sharing a fingerprint with another
+	// device or application (19 in the paper).
+	SharedWithOthers []string
+}
+
+// BuildFigure5 computes the figure from active-snapshot observations.
+func BuildFigure5(store *capture.Store, db *fingerprint.DB, nameOf func(string) string) *Figure5 {
+	g := fingerprint.NewGraph(db)
+	for _, o := range store.All() {
+		if !o.SawClientHello {
+			continue
+		}
+		g.Observe(nameOf(o.Device), o.Fingerprint)
+	}
+	fig := &Figure5{Graph: g}
+	multi := map[string]bool{}
+	for _, owner := range g.MultiInstanceOwners() {
+		multi[owner] = true
+	}
+	for _, owner := range g.Owners() {
+		if multi[owner] {
+			fig.MultiInstance = append(fig.MultiInstance, owner)
+		} else {
+			fig.SingleInstance = append(fig.SingleInstance, owner)
+		}
+		if len(g.SharedWith(owner)) > 0 {
+			fig.SharedWithOthers = append(fig.SharedWithOthers, owner)
+		}
+	}
+	return fig
+}
+
+// Render draws the edge list grouped by fingerprint.
+func (f *Figure5) Render() string {
+	var b strings.Builder
+	b.WriteString("== Figure 5: TLS fingerprint sharing graph ==\n")
+	fmt.Fprintf(&b, "single-instance devices: %d, multi-instance devices: %d\n",
+		len(f.SingleInstance), len(f.MultiInstance))
+	fmt.Fprintf(&b, "devices sharing a fingerprint with others: %d\n\n", len(f.SharedWithOthers))
+	edges := f.Graph.Edges()
+	current := ""
+	for _, e := range edges {
+		if e.FP != current {
+			current = e.FP
+			fmt.Fprintf(&b, "fingerprint %s:\n", e.FP)
+		}
+		marks := ""
+		if e.Dominant {
+			marks += " [dominant]"
+		}
+		if e.FromDB {
+			marks += " [db]"
+		}
+		fmt.Fprintf(&b, "  %-11s %s%s\n", e.OwnerKind, e.Owner, marks)
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/device"
+	"repro/internal/driver"
+	"repro/internal/netem"
+	"repro/internal/wire"
+)
+
+func hello(maxV ciphers.Version, suites []ciphers.Suite, exts ...wire.Extension) *wire.ClientHello {
+	ch := &wire.ClientHello{
+		LegacyVersion: ciphers.MinVersion(maxV, ciphers.TLS12),
+		CipherSuites:  suites,
+		Extensions:    exts,
+	}
+	if maxV >= ciphers.TLS13 {
+		ch.Extensions = append(ch.Extensions,
+			wire.SupportedVersionsExtension([]ciphers.Version{ciphers.TLS13, ciphers.TLS12}))
+	}
+	return ch
+}
+
+func TestGradeCleanModernClient(t *testing.T) {
+	ch := hello(ciphers.TLS13,
+		[]ciphers.Suite{ciphers.TLS_AES_128_GCM_SHA256, ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256},
+		wire.StatusRequestExtension(),
+		wire.SignatureAlgorithmsExtension([]ciphers.SignatureAlgorithm{ciphers.ED25519}),
+	)
+	adv := Grade("clean", ch)
+	if adv.Grade != "A" {
+		t.Fatalf("grade = %s, want A: %s", adv.Grade, adv.Render())
+	}
+}
+
+func TestGradeInsecureSuites(t *testing.T) {
+	ch := hello(ciphers.TLS12, []ciphers.Suite{
+		ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+		ciphers.TLS_RSA_WITH_RC4_128_SHA,
+	})
+	adv := Grade("weak", ch)
+	if adv.Grade != "F" || !adv.HasCode("insecure-suites") {
+		t.Fatalf("advisory = %s", adv.Render())
+	}
+}
+
+func TestGradeOldMaxVersion(t *testing.T) {
+	ch := hello(ciphers.TLS10, []ciphers.Suite{ciphers.TLS_RSA_WITH_AES_128_CBC_SHA})
+	adv := Grade("old", ch)
+	if adv.Grade != "F" || !adv.HasCode("max-version-deprecated") {
+		t.Fatalf("advisory = %s", adv.Render())
+	}
+	// Old minimum but modern maximum is a warning, not critical.
+	ch2 := hello(ciphers.TLS12, []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256})
+	adv2 := Grade("downto10", ch2)
+	if !adv2.HasCode("old-versions-enabled") {
+		t.Fatalf("implicit old versions not flagged: %s", adv2.Render())
+	}
+}
+
+func TestGradeNullAnon(t *testing.T) {
+	ch := hello(ciphers.TLS12, []ciphers.Suite{
+		ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+		ciphers.TLS_RSA_WITH_NULL_SHA,
+	})
+	adv := Grade("null", ch)
+	if !adv.HasCode("null-anon-suites") || adv.Grade != "F" {
+		t.Fatalf("advisory = %s", adv.Render())
+	}
+}
+
+func TestGradeNoPFS(t *testing.T) {
+	ch := hello(ciphers.TLS12, []ciphers.Suite{ciphers.TLS_RSA_WITH_AES_128_GCM_SHA256})
+	adv := Grade("nopfs", ch)
+	if !adv.HasCode("no-forward-secrecy") || adv.Grade != "C" {
+		t.Fatalf("advisory = %s", adv.Render())
+	}
+}
+
+func TestGradeWeakSigalgs(t *testing.T) {
+	ch := hello(ciphers.TLS12,
+		[]ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256},
+		wire.SignatureAlgorithmsExtension([]ciphers.SignatureAlgorithm{ciphers.RSA_PKCS1_SHA1}),
+	)
+	adv := Grade("sha1", ch)
+	if !adv.HasCode("weak-signature-algorithms") {
+		t.Fatalf("advisory = %s", adv.Render())
+	}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	// Register the audit endpoint, point real device models at it, and
+	// check the advisories the service derives from live handshakes.
+	clk := clock.NewSimulated(device.ActiveSnapshot.Start())
+	nw := netem.New(clk)
+	reg := device.NewRegistry(clk)
+	svc := NewService(nw, "audit.iotls.example", device.OperationalCAs(reg.Universe)[0].Pair)
+
+	connect := func(id string) {
+		t.Helper()
+		dev, _ := reg.Get(id)
+		dst := device.Destination{Host: svc.Host, Slot: 0, Boot: true, MonthlyConns: 1}
+		out := driver.Connect(nw, dev, dst, device.ActiveSnapshot, 1)
+		if !out.Established {
+			t.Fatalf("%s could not reach audit service: %v", id, out.Err)
+		}
+		if !strings.HasPrefix(out.Reply, "AUDIT ") {
+			t.Fatalf("%s reply = %q", id, out.Reply)
+		}
+	}
+
+	connect("zmodo-doorbell")  // weak everything
+	connect("nest-thermostat") // clean
+
+	zmodo, ok := svc.AdvisoryFor("zmodo-doorbell")
+	if !ok || zmodo.Grade != "F" {
+		t.Fatalf("zmodo advisory = %+v", zmodo)
+	}
+	if !zmodo.HasCode("insecure-suites") || !zmodo.HasCode("old-versions-enabled") {
+		t.Fatalf("zmodo advisory incomplete: %s", zmodo.Render())
+	}
+	nest, ok := svc.AdvisoryFor("nest-thermostat")
+	if !ok || nest.Grade == "F" {
+		t.Fatalf("nest advisory = %+v", nest)
+	}
+
+	sum := svc.Summary()
+	if !strings.Contains(sum, "zmodo-doorbell") || !strings.Contains(sum, "nest-thermostat") {
+		t.Fatalf("summary incomplete: %s", sum)
+	}
+	// Worst grades first.
+	if strings.Index(sum, "zmodo") > strings.Index(sum, "nest") {
+		t.Fatal("summary not sorted worst-first")
+	}
+}
+
+func TestAdvisoryForUnknownDevice(t *testing.T) {
+	clk := clock.NewSimulated(device.ActiveSnapshot.Start())
+	nw := netem.New(clk)
+	reg := device.NewRegistry(clk)
+	svc := NewService(nw, "audit.iotls.example", device.OperationalCAs(reg.Universe)[0].Pair)
+	if _, ok := svc.AdvisoryFor("ghost"); ok {
+		t.Fatal("advisory for unknown device")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "INFO" || Warn.String() != "WARN" || Critical.String() != "CRITICAL" {
+		t.Fatal("severity names wrong")
+	}
+}

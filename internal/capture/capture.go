@@ -1,0 +1,304 @@
+// Package capture implements the gateway's passive measurement pipeline:
+// a byte-level sniffer that reassembles TLS records from mirrored
+// traffic (the netem.Mirror integration), extracts handshake metadata
+// exactly as the paper's gateway did, and a queryable store of
+// handshake observations that every longitudinal analysis consumes.
+//
+// The sniffer parses real wire bytes — it shares no state with the
+// client or server engines, so analyses are honest recoveries from
+// traffic, not reads of ground truth.
+package capture
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/fingerprint"
+	"repro/internal/netem"
+	"repro/internal/wire"
+)
+
+// Observation is one observed TLS connection.
+type Observation struct {
+	// Device is the source host (the device ID).
+	Device string
+	// Host and Port identify the destination.
+	Host string
+	Port int
+	// Time is the virtual time of the connection; Month its aggregation
+	// bucket.
+	Time  time.Time
+	Month clock.Month
+	// Weight is the number of real-world connections this observation
+	// stands for (the generator samples one handshake per
+	// device/destination/month and weights it).
+	Weight int
+
+	// SawClientHello/SawServerHello record handshake progress.
+	SawClientHello bool
+	SawServerHello bool
+	// Established is true when the server completed the handshake
+	// (sent ChangeCipherSpec after the client's flight).
+	Established bool
+
+	// Client-side features.
+	SNI                 string
+	AdvertisedMax       ciphers.Version
+	AdvertisedVersions  []ciphers.Version
+	AdvertisedSuites    []ciphers.Suite
+	RequestedOCSPStaple bool
+	Fingerprint         fingerprint.Fingerprint
+
+	// Server-side features.
+	NegotiatedVersion ciphers.Version
+	NegotiatedSuite   ciphers.Suite
+	StapledOCSP       bool
+
+	// Alerts seen in either direction.
+	ClientAlert *wire.Alert
+	ServerAlert *wire.Alert
+
+	// AppDataRecords counts application-data records after
+	// establishment.
+	AppDataRecords int
+}
+
+// AdvertisesInsecure reports whether the ClientHello offered any
+// insecure suite (Figure 2's per-connection predicate).
+func (o *Observation) AdvertisesInsecure() bool {
+	return ciphers.AnyInsecure(o.AdvertisedSuites)
+}
+
+// AdvertisesStrong reports whether the ClientHello offered any strong
+// suite.
+func (o *Observation) AdvertisesStrong() bool {
+	return ciphers.AnyStrong(o.AdvertisedSuites)
+}
+
+// EstablishedInsecure reports whether the connection was established
+// with an insecure suite.
+func (o *Observation) EstablishedInsecure() bool {
+	return o.Established && o.NegotiatedSuite.Insecure()
+}
+
+// EstablishedStrong reports whether the connection was established with
+// a strong (PFS) suite (Figure 3's predicate).
+func (o *Observation) EstablishedStrong() bool {
+	return o.Established && o.NegotiatedSuite.Strong()
+}
+
+// Store accumulates observations and revocation events.
+type Store struct {
+	mu  sync.Mutex
+	obs []*Observation
+	rev []RevocationEvent
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends an observation.
+func (s *Store) Add(o *Observation) {
+	if o.Weight <= 0 {
+		o.Weight = 1
+	}
+	o.Month = clock.MonthOf(o.Time)
+	s.mu.Lock()
+	s.obs = append(s.obs, o)
+	s.mu.Unlock()
+}
+
+// All returns a snapshot of every observation.
+func (s *Store) All() []*Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Observation(nil), s.obs...)
+}
+
+// ByDevice returns observations for one device.
+func (s *Store) ByDevice(id string) []*Observation {
+	var out []*Observation
+	for _, o := range s.All() {
+		if o.Device == id {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Len reports the number of stored observations (unweighted).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.obs)
+}
+
+// TotalWeight reports the weighted connection count.
+func (s *Store) TotalWeight() int {
+	total := 0
+	for _, o := range s.All() {
+		total += o.Weight
+	}
+	return total
+}
+
+// Collector wires the store into a netem gateway: it is a MirrorFactory
+// whose sniffers publish observations on connection close. Weights are
+// announced by the traffic generator before each dial.
+type Collector struct {
+	Store *Store
+
+	mu         sync.Mutex
+	nextWeight map[string]int // "src->host:port" -> weight
+}
+
+// NewCollector builds a collector around a store.
+func NewCollector(store *Store) *Collector {
+	return &Collector{Store: store, nextWeight: make(map[string]int)}
+}
+
+// WillDial announces that the next connection from src to host carries
+// the given weight.
+func (c *Collector) WillDial(src, host string, port int, weight int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWeight[weightKey(src, host, port)] = weight
+}
+
+func (c *Collector) takeWeight(src, host string, port int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := weightKey(src, host, port)
+	w := c.nextWeight[key]
+	delete(c.nextWeight, key)
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+func weightKey(src, host string, port int) string {
+	return src + "->" + host + ":" + itoa(port)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Mirror implements netem.MirrorFactory. Port-443 connections get a TLS
+// sniffer; port-80 connections get a plaintext sniffer that detects
+// revocation-protocol fetches (Table 8's CRL/OCSP evidence).
+func (c *Collector) Mirror(meta netem.ConnMeta) netem.Mirror {
+	switch meta.DstPort {
+	case 443:
+		return newSniffer(c, meta)
+	case 80:
+		return newPlainSniffer(c, meta)
+	default:
+		return nil
+	}
+}
+
+// RevocationKind classifies a revocation fetch.
+type RevocationKind int
+
+const (
+	// RevocationOCSP is an OCSP status query.
+	RevocationOCSP RevocationKind = iota
+	// RevocationCRL is a CRL download.
+	RevocationCRL
+)
+
+// String implements fmt.Stringer.
+func (k RevocationKind) String() string {
+	if k == RevocationCRL {
+		return "CRL"
+	}
+	return "OCSP"
+}
+
+// RevocationEvent records one observed revocation fetch.
+type RevocationEvent struct {
+	Device string
+	Host   string
+	Kind   RevocationKind
+	Time   time.Time
+}
+
+// AddRevocation appends a revocation event.
+func (s *Store) AddRevocation(e RevocationEvent) {
+	s.mu.Lock()
+	s.rev = append(s.rev, e)
+	s.mu.Unlock()
+}
+
+// Revocations returns all revocation events.
+func (s *Store) Revocations() []RevocationEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RevocationEvent(nil), s.rev...)
+}
+
+// plainSniffer watches a plaintext connection for revocation-protocol
+// request lines.
+type plainSniffer struct {
+	collector *Collector
+	meta      netem.ConnMeta
+
+	mu   sync.Mutex
+	head []byte
+	done bool
+}
+
+func newPlainSniffer(c *Collector, meta netem.ConnMeta) *plainSniffer {
+	return &plainSniffer{collector: c, meta: meta}
+}
+
+// ClientBytes implements netem.Mirror.
+func (p *plainSniffer) ClientBytes(b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done || len(p.head) > 256 {
+		return
+	}
+	p.head = append(p.head, b...)
+	head := string(p.head)
+	var kind RevocationKind
+	switch {
+	case hasPrefix(head, "OCSP-CHECK"):
+		kind = RevocationOCSP
+	case hasPrefix(head, "CRL-FETCH"):
+		kind = RevocationCRL
+	default:
+		return
+	}
+	p.done = true
+	p.collector.Store.AddRevocation(RevocationEvent{
+		Device: p.meta.SrcHost,
+		Host:   p.meta.DstHost,
+		Kind:   kind,
+		Time:   p.meta.At,
+	})
+}
+
+// ServerBytes implements netem.Mirror.
+func (p *plainSniffer) ServerBytes([]byte) {}
+
+// CloseMirror implements netem.Mirror.
+func (p *plainSniffer) CloseMirror() {}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

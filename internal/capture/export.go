@@ -1,0 +1,113 @@
+package capture
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// observationJSON is the stable export schema, mirroring the fields the
+// paper's published dataset exposes per handshake.
+type observationJSON struct {
+	Device              string   `json:"device"`
+	Host                string   `json:"host"`
+	Port                int      `json:"port"`
+	Time                string   `json:"time"`
+	Month               string   `json:"month"`
+	Weight              int      `json:"weight"`
+	SNI                 string   `json:"sni,omitempty"`
+	Established         bool     `json:"established"`
+	AdvertisedMax       string   `json:"advertised_max"`
+	AdvertisedSuites    []string `json:"advertised_suites"`
+	NegotiatedVersion   string   `json:"negotiated_version,omitempty"`
+	NegotiatedSuite     string   `json:"negotiated_suite,omitempty"`
+	RequestedOCSPStaple bool     `json:"requested_ocsp_staple"`
+	StapledOCSP         bool     `json:"stapled_ocsp"`
+	ClientAlert         string   `json:"client_alert,omitempty"`
+	ServerAlert         string   `json:"server_alert,omitempty"`
+	Fingerprint         string   `json:"fingerprint"`
+}
+
+func toJSON(o *Observation) observationJSON {
+	j := observationJSON{
+		Device:              o.Device,
+		Host:                o.Host,
+		Port:                o.Port,
+		Time:                o.Time.UTC().Format(time.RFC3339),
+		Month:               o.Month.String(),
+		Weight:              o.Weight,
+		SNI:                 o.SNI,
+		Established:         o.Established,
+		AdvertisedMax:       o.AdvertisedMax.String(),
+		RequestedOCSPStaple: o.RequestedOCSPStaple,
+		StapledOCSP:         o.StapledOCSP,
+		Fingerprint:         o.Fingerprint.ID(),
+	}
+	for _, s := range o.AdvertisedSuites {
+		j.AdvertisedSuites = append(j.AdvertisedSuites, s.String())
+	}
+	if o.Established {
+		j.NegotiatedVersion = o.NegotiatedVersion.String()
+		j.NegotiatedSuite = o.NegotiatedSuite.String()
+	}
+	if o.ClientAlert != nil {
+		j.ClientAlert = o.ClientAlert.Description.String()
+	}
+	if o.ServerAlert != nil {
+		j.ServerAlert = o.ServerAlert.Description.String()
+	}
+	return j
+}
+
+// WriteJSONL exports every observation as one JSON object per line and
+// returns the number of records written.
+func WriteJSONL(w io.Writer, s *Store) (int, error) {
+	enc := json.NewEncoder(w)
+	n := 0
+	for _, o := range s.All() {
+		if err := enc.Encode(toJSON(o)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// WriteCSV exports a flat summary (one row per observation) and returns
+// the number of data rows written.
+func WriteCSV(w io.Writer, s *Store) (int, error) {
+	cw := csv.NewWriter(w)
+	header := []string{"device", "host", "month", "weight", "established",
+		"advertised_max", "negotiated_version", "negotiated_suite",
+		"advertises_insecure", "established_strong", "client_alert", "fingerprint"}
+	if err := cw.Write(header); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, o := range s.All() {
+		negVer, negSuite := "", ""
+		if o.Established {
+			negVer, negSuite = o.NegotiatedVersion.String(), o.NegotiatedSuite.String()
+		}
+		alert := ""
+		if o.ClientAlert != nil {
+			alert = o.ClientAlert.Description.String()
+		}
+		row := []string{
+			o.Device, o.Host, o.Month.String(), fmt.Sprintf("%d", o.Weight),
+			fmt.Sprintf("%v", o.Established), o.AdvertisedMax.String(),
+			negVer, negSuite,
+			fmt.Sprintf("%v", o.AdvertisesInsecure()),
+			fmt.Sprintf("%v", o.EstablishedStrong()),
+			alert, o.Fingerprint.ID(),
+		}
+		if err := cw.Write(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	cw.Flush()
+	return n, cw.Error()
+}

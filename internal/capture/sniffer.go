@@ -1,0 +1,174 @@
+package capture
+
+import (
+	"sync"
+
+	"repro/internal/fingerprint"
+	"repro/internal/netem"
+	"repro/internal/wire"
+)
+
+// sniffer reassembles the TLS record stream of one mirrored connection,
+// direction by direction, and publishes an Observation when the
+// connection closes. It tolerates arbitrary byte fragmentation: mirrors
+// deliver whatever chunks the transport produced.
+type sniffer struct {
+	collector *Collector
+	meta      netem.ConnMeta
+
+	mu        sync.Mutex
+	c2s, s2c  recordAssembler
+	obs       *Observation
+	published bool
+	// ccsFromServer tracks establishment: the server sends CCS only
+	// after validating the client's Finished.
+	ccsFromServer bool
+}
+
+func newSniffer(c *Collector, meta netem.ConnMeta) *sniffer {
+	return &sniffer{
+		collector: c,
+		meta:      meta,
+		obs: &Observation{
+			Device: meta.SrcHost,
+			Host:   meta.DstHost,
+			Port:   meta.DstPort,
+			Time:   meta.At,
+		},
+	}
+}
+
+// ClientBytes implements netem.Mirror.
+func (s *sniffer) ClientBytes(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range s.c2s.feed(p) {
+		s.onRecord(rec, true)
+	}
+}
+
+// ServerBytes implements netem.Mirror.
+func (s *sniffer) ServerBytes(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range s.s2c.feed(p) {
+		s.onRecord(rec, false)
+	}
+}
+
+// CloseMirror implements netem.Mirror.
+func (s *sniffer) CloseMirror() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.published {
+		return
+	}
+	s.published = true
+	s.obs.Weight = s.collector.takeWeight(s.meta.SrcHost, s.meta.DstHost, s.meta.DstPort)
+	s.collector.Store.Add(s.obs)
+}
+
+// onRecord dissects one reassembled record.
+func (s *sniffer) onRecord(rec wire.Record, fromClient bool) {
+	switch rec.Type {
+	case wire.TypeHandshake:
+		rest := rec.Payload
+		for len(rest) > 0 {
+			msg, r, err := wire.ParseHandshake(rest)
+			if err != nil {
+				return
+			}
+			rest = r
+			s.onHandshake(msg, fromClient)
+		}
+	case wire.TypeAlert:
+		a, err := wire.ParseAlert(rec.Payload)
+		if err != nil {
+			return
+		}
+		if fromClient {
+			if s.obs.ClientAlert == nil {
+				s.obs.ClientAlert = &a
+			}
+		} else if s.obs.ServerAlert == nil {
+			s.obs.ServerAlert = &a
+		}
+	case wire.TypeChangeCipherSpec:
+		if !fromClient {
+			s.ccsFromServer = true
+			s.obs.Established = true
+		}
+	case wire.TypeApplicationData:
+		if s.ccsFromServer {
+			s.obs.AppDataRecords++
+		}
+	}
+}
+
+func (s *sniffer) onHandshake(msg wire.Handshake, fromClient bool) {
+	switch {
+	case fromClient && msg.Type == wire.TypeClientHello:
+		ch, err := wire.ParseClientHello(msg.Body)
+		if err != nil {
+			return
+		}
+		s.obs.SawClientHello = true
+		if sni, ok := ch.SNI(); ok {
+			s.obs.SNI = sni
+		}
+		s.obs.AdvertisedMax = ch.MaxVersion()
+		s.obs.AdvertisedVersions = ch.SupportedVersions()
+		s.obs.AdvertisedSuites = ch.CipherSuites
+		s.obs.RequestedOCSPStaple = ch.RequestsOCSPStaple()
+		s.obs.Fingerprint = fingerprint.FromClientHello(ch)
+	case !fromClient && msg.Type == wire.TypeServerHello:
+		sh, err := wire.ParseServerHello(msg.Body)
+		if err != nil {
+			return
+		}
+		s.obs.SawServerHello = true
+		s.obs.NegotiatedVersion = sh.Version
+		s.obs.NegotiatedSuite = sh.CipherSuite
+		s.obs.StapledOCSP = sh.HasStaple()
+	}
+}
+
+// recordAssembler buffers a directional byte stream and emits complete
+// TLS records. A stream that desynchronises (impossible record length)
+// is permanently poisoned: without a valid framing anchor nothing after
+// the corruption can be trusted.
+type recordAssembler struct {
+	buf  []byte
+	dead bool
+}
+
+// feed appends bytes and returns all complete records.
+func (a *recordAssembler) feed(p []byte) []wire.Record {
+	if a.dead {
+		return nil
+	}
+	a.buf = append(a.buf, p...)
+	var out []wire.Record
+	for {
+		if len(a.buf) < 5 {
+			return out
+		}
+		n := int(a.buf[3])<<8 | int(a.buf[4])
+		if n > wire.MaxRecordPayload {
+			// Corrupt stream: stop parsing this direction.
+			a.buf = nil
+			a.dead = true
+			return out
+		}
+		if len(a.buf) < 5+n {
+			return out
+		}
+		rec := wire.Record{
+			Type:    wire.ContentType(a.buf[0]),
+			Version: wire.RecordVersion(a.buf[1], a.buf[2]),
+			Payload: append([]byte(nil), a.buf[5:5+n]...),
+		}
+		a.buf = a.buf[5+n:]
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,136 @@
+package certs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: a chain of arbitrary depth (1-4 intermediates), correctly
+// issued, always verifies against its root; and corrupting any single
+// signature byte makes verification fail.
+func TestChainDepthProperty(t *testing.T) {
+	nb := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	na := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	at := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	f := func(depthSeed uint8, corrupt bool, corruptAt uint8) bool {
+		depth := int(depthSeed%4) + 1 // 1..4 intermediates
+		root := NewRootCA(Name{CommonName: "Prop Root"}, 1, nb, na, fmt.Sprintf("prop-root-%d", depth))
+		pool := NewPool()
+		pool.Add(root.Cert)
+
+		issuer := root
+		chain := []*Certificate{}
+		for i := 0; i < depth; i++ {
+			inter := issuer.Issue(Template{
+				SerialNumber: uint64(10 + i),
+				Subject:      Name{CommonName: fmt.Sprintf("Prop Intermediate %d", i)},
+				NotBefore:    nb, NotAfter: na,
+				IsCA: true, MaxPathLen: -1,
+			}, fmt.Sprintf("prop-inter-%d-%d", depth, i))
+			chain = append([]*Certificate{inter.Cert}, chain...)
+			issuer = inter
+		}
+		leaf := issuer.Issue(Template{
+			SerialNumber: 99,
+			Subject:      Name{CommonName: "prop.example.com"},
+			NotBefore:    nb, NotAfter: na,
+			DNSNames: []string{"prop.example.com"},
+		}, fmt.Sprintf("prop-leaf-%d", depth))
+		full := append([]*Certificate{leaf.Cert}, chain...)
+
+		if corrupt {
+			// Flip one signature byte somewhere in the chain.
+			target := full[int(corruptAt)%len(full)]
+			mutated := *target
+			mutated.Signature = append([]byte(nil), target.Signature...)
+			mutated.Signature[int(corruptAt)%len(mutated.Signature)] ^= 0xff
+			idx := int(corruptAt) % len(full)
+			broken := append([]*Certificate(nil), full...)
+			broken[idx] = &mutated
+			_, err := Verify(broken, VerifyOptions{Roots: pool, Hostname: "prop.example.com", At: at})
+			return err != nil
+		}
+		_, err := Verify(full, VerifyOptions{Roots: pool, Hostname: "prop.example.com", At: at})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pool membership is exact — Contains is true iff the
+// certificate (by fingerprint) was added and not removed.
+func TestPoolMembershipProperty(t *testing.T) {
+	nb := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	na := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(ops []bool) bool {
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		pool := NewPool()
+		members := map[int]bool{}
+		certsByIdx := map[int]*Certificate{}
+		for i, add := range ops {
+			c, ok := certsByIdx[i%6]
+			if !ok {
+				pair := NewRootCA(Name{CommonName: fmt.Sprintf("P%d", i%6)}, uint64(i%6), nb, na, fmt.Sprintf("pool-prop-%d", i%6))
+				c = pair.Cert
+				certsByIdx[i%6] = c
+			}
+			if add {
+				pool.Add(c)
+				members[i%6] = true
+			} else {
+				pool.Remove(c)
+				delete(members, i%6)
+			}
+		}
+		count := 0
+		for idx, c := range certsByIdx {
+			if pool.Contains(c) != members[idx] {
+				return false
+			}
+			if members[idx] {
+				count++
+			}
+		}
+		return pool.Len() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Spoof always shares the SubjectKey with its target but
+// never its fingerprint, and its signature never verifies under the
+// target's key.
+func TestSpoofProperty(t *testing.T) {
+	nb := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	na := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(serial uint16, cn string, seed string) bool {
+		if len(cn) > 100 {
+			cn = cn[:100]
+		}
+		target := NewRootCA(Name{CommonName: cn, Organization: "O"}, uint64(serial), nb, na, "spoof-target-"+seed)
+		spoof := Spoof(target.Cert, "spoof-key-"+seed)
+		if spoof.Cert.SubjectKey() != target.Cert.SubjectKey() {
+			return false
+		}
+		if spoof.Cert.Fingerprint() == target.Cert.Fingerprint() {
+			return false
+		}
+		// A leaf issued by the spoof fails under the real root's key.
+		leaf := spoof.Issue(Template{
+			SerialNumber: 7, Subject: Name{CommonName: "x"},
+			NotBefore: nb, NotAfter: na,
+		}, "spoof-leaf-"+seed)
+		return leaf.Cert.CheckSignatureFrom(target.Cert) != nil &&
+			leaf.Cert.CheckSignatureFrom(spoof.Cert) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

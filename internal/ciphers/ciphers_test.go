@@ -1,0 +1,304 @@
+package ciphers
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVersionStrings(t *testing.T) {
+	cases := map[Version]string{
+		SSL30:  "SSL 3.0",
+		TLS10:  "TLS 1.0",
+		TLS11:  "TLS 1.1",
+		TLS12:  "TLS 1.2",
+		TLS13:  "TLS 1.3",
+		0x0305: "TLS(0x0305)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#04x.String() = %q, want %q", uint16(v), got, want)
+		}
+	}
+}
+
+func TestVersionDeprecated(t *testing.T) {
+	for _, v := range []Version{SSL30, TLS10, TLS11} {
+		if !v.Deprecated() {
+			t.Errorf("%v should be deprecated", v)
+		}
+	}
+	for _, v := range []Version{TLS12, TLS13} {
+		if v.Deprecated() {
+			t.Errorf("%v should not be deprecated", v)
+		}
+	}
+}
+
+func TestVersionBands(t *testing.T) {
+	cases := map[Version]VersionBand{
+		SSL30: BandOld, TLS10: BandOld, TLS11: BandOld,
+		TLS12: Band12, TLS13: Band13,
+	}
+	for v, want := range cases {
+		if got := v.Band(); got != want {
+			t.Errorf("%v.Band() = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestVersionKnown(t *testing.T) {
+	for _, v := range AllVersions {
+		if !v.Known() {
+			t.Errorf("%v not Known", v)
+		}
+	}
+	if Version(0x0299).Known() {
+		t.Error("bogus version reported Known")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		cmin, cmax, smin, smax Version
+		want                   Version
+		ok                     bool
+	}{
+		{TLS10, TLS13, TLS12, TLS13, TLS13, true},
+		{TLS10, TLS12, TLS12, TLS13, TLS12, true},
+		{TLS10, TLS11, TLS12, TLS13, 0, false},
+		{SSL30, SSL30, SSL30, TLS13, SSL30, true},
+		{TLS13, TLS13, TLS10, TLS12, 0, false},
+		{TLS10, TLS12, TLS10, TLS10, TLS10, true},
+	}
+	for _, c := range cases {
+		got, ok := Negotiate(c.cmin, c.cmax, c.smin, c.smax)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Negotiate(%v..%v, %v..%v) = %v,%v; want %v,%v",
+				c.cmin, c.cmax, c.smin, c.smax, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// Property: a successful negotiation always lands inside both ranges.
+func TestNegotiateWithinRangesProperty(t *testing.T) {
+	vs := AllVersions
+	f := func(a, b, c, d uint8) bool {
+		cmin, cmax := vs[int(a)%len(vs)], vs[int(b)%len(vs)]
+		smin, smax := vs[int(c)%len(vs)], vs[int(d)%len(vs)]
+		if cmin > cmax {
+			cmin, cmax = cmax, cmin
+		}
+		if smin > smax {
+			smin, smax = smax, smin
+		}
+		v, ok := Negotiate(cmin, cmax, smin, smax)
+		if !ok {
+			return cmax < smin || smax < cmin
+		}
+		return v >= cmin && v <= cmax && v >= smin && v <= smax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsecureClassification(t *testing.T) {
+	insecure := []Suite{
+		TLS_RSA_WITH_RC4_128_SHA,
+		TLS_RSA_WITH_RC4_128_MD5,
+		TLS_RSA_WITH_DES_CBC_SHA,
+		TLS_RSA_WITH_3DES_EDE_CBC_SHA,
+		TLS_RSA_EXPORT_WITH_RC4_40_MD5,
+		TLS_RSA_EXPORT_WITH_DES40_CBC_SHA,
+		TLS_ECDHE_RSA_WITH_RC4_128_SHA,
+		TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA,
+		TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA,
+	}
+	for _, s := range insecure {
+		if !s.Insecure() {
+			t.Errorf("%v should be Insecure", s)
+		}
+	}
+	secure := []Suite{
+		TLS_RSA_WITH_AES_128_CBC_SHA,
+		TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+		TLS_AES_128_GCM_SHA256,
+	}
+	for _, s := range secure {
+		if s.Insecure() {
+			t.Errorf("%v should not be Insecure", s)
+		}
+	}
+}
+
+func TestNullAnonClassification(t *testing.T) {
+	for _, s := range []Suite{TLS_NULL_WITH_NULL_NULL, TLS_RSA_WITH_NULL_SHA, TLS_DH_anon_WITH_RC4_128_MD5, TLS_DH_anon_WITH_AES_128_CBC_SHA} {
+		if !s.NullOrAnon() {
+			t.Errorf("%v should be NullOrAnon", s)
+		}
+	}
+	if TLS_RSA_WITH_AES_128_CBC_SHA.NullOrAnon() {
+		t.Error("AES-CBC misclassified as NullOrAnon")
+	}
+}
+
+func TestStrongClassification(t *testing.T) {
+	strong := []Suite{
+		TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+		TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA,
+		TLS_DHE_RSA_WITH_AES_256_GCM_SHA384,
+		TLS_AES_128_GCM_SHA256,
+		TLS_CHACHA20_POLY1305_SHA256,
+	}
+	for _, s := range strong {
+		if !s.Strong() {
+			t.Errorf("%v should be Strong", s)
+		}
+	}
+	notStrong := []Suite{
+		TLS_RSA_WITH_AES_128_CBC_SHA,     // no PFS
+		TLS_ECDHE_RSA_WITH_RC4_128_SHA,   // PFS but insecure bulk cipher
+		TLS_DH_anon_WITH_AES_128_CBC_SHA, // anon
+		TLS_RSA_WITH_RC4_128_SHA,         // insecure
+	}
+	for _, s := range notStrong {
+		if s.Strong() {
+			t.Errorf("%v should not be Strong", s)
+		}
+	}
+}
+
+// Property: Insecure, NullOrAnon and Strong are pairwise disjoint for all
+// registered suites.
+func TestClassesDisjoint(t *testing.T) {
+	for _, info := range All() {
+		s := info.ID
+		n := 0
+		if s.Insecure() {
+			n++
+		}
+		if s.NullOrAnon() {
+			n++
+		}
+		if s.Strong() {
+			n++
+		}
+		if n > 1 {
+			t.Errorf("%v in multiple classes", s)
+		}
+	}
+}
+
+func TestForwardSecret(t *testing.T) {
+	if !TLS_ECDHE_RSA_WITH_RC4_128_SHA.ForwardSecret() {
+		t.Error("ECDHE+RC4 should be forward secret even though insecure")
+	}
+	if TLS_RSA_WITH_AES_128_GCM_SHA256.ForwardSecret() {
+		t.Error("plain RSA kx should not be forward secret")
+	}
+}
+
+func TestUsableAt(t *testing.T) {
+	if !TLS_AES_128_GCM_SHA256.UsableAt(TLS13) {
+		t.Error("1.3 suite unusable at 1.3")
+	}
+	if TLS_AES_128_GCM_SHA256.UsableAt(TLS12) {
+		t.Error("1.3 suite usable at 1.2")
+	}
+	if TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256.UsableAt(TLS13) {
+		t.Error("1.2 suite usable at 1.3")
+	}
+	if !TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256.UsableAt(TLS12) {
+		t.Error("GCM suite unusable at 1.2")
+	}
+	if TLS_RSA_WITH_AES_128_GCM_SHA256.UsableAt(TLS11) {
+		t.Error("GCM suite usable below 1.2")
+	}
+	if !TLS_RSA_WITH_RC4_128_SHA.UsableAt(SSL30) {
+		t.Error("RC4 unusable at SSL 3.0")
+	}
+}
+
+func TestSelectSuite(t *testing.T) {
+	offer := []Suite{TLS_RSA_WITH_RC4_128_SHA, TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	prefs := []Suite{TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256, TLS_RSA_WITH_RC4_128_SHA}
+	got, ok := SelectSuite(offer, prefs, TLS12)
+	if !ok || got != TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 {
+		t.Fatalf("SelectSuite = %v,%v; want ECDHE-GCM", got, ok)
+	}
+	// At TLS 1.0 the GCM suite is unusable; RC4 wins.
+	got, ok = SelectSuite(offer, prefs, TLS10)
+	if !ok || got != TLS_RSA_WITH_RC4_128_SHA {
+		t.Fatalf("SelectSuite@1.0 = %v,%v; want RC4", got, ok)
+	}
+	// No overlap.
+	if _, ok := SelectSuite(offer, []Suite{TLS_AES_128_GCM_SHA256}, TLS12); ok {
+		t.Fatal("SelectSuite found overlap where none exists")
+	}
+}
+
+func TestAnyInsecureAnyStrong(t *testing.T) {
+	mixed := []Suite{TLS_RSA_WITH_RC4_128_SHA, TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	if !AnyInsecure(mixed) || !AnyStrong(mixed) {
+		t.Fatal("mixed list should have both insecure and strong members")
+	}
+	clean := []Suite{TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	if AnyInsecure(clean) {
+		t.Fatal("clean list flagged insecure")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup(Suite(0xfefe)); ok {
+		t.Fatal("Lookup of unknown suite succeeded")
+	}
+	s := Suite(0xfefe)
+	if s.Insecure() || s.Strong() || s.NullOrAnon() || s.ForwardSecret() {
+		t.Fatal("unknown suite classified")
+	}
+	if s.UsableAt(TLS12) {
+		t.Fatal("unknown suite usable")
+	}
+	if got := s.String(); got != "TLS_UNKNOWN_0xfefe" {
+		t.Fatalf("unknown suite String = %q", got)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	if len(all) < 30 {
+		t.Fatalf("registry too small: %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("All() not sorted at %d", i)
+		}
+	}
+}
+
+func TestSuiteNames(t *testing.T) {
+	if TLS_RSA_WITH_RC4_128_SHA.String() != "TLS_RSA_WITH_RC4_128_SHA" {
+		t.Fatalf("name = %q", TLS_RSA_WITH_RC4_128_SHA.String())
+	}
+}
+
+func TestSignatureAlgorithms(t *testing.T) {
+	if !RSA_PKCS1_SHA1.Weak() {
+		t.Error("SHA1 sigalg should be weak")
+	}
+	if RSA_PKCS1_SHA256.Weak() {
+		t.Error("SHA256 sigalg should not be weak")
+	}
+	if RSA_PKCS1_SHA1.String() != "rsa_pkcs1_sha1" {
+		t.Errorf("String = %q", RSA_PKCS1_SHA1.String())
+	}
+	if SignatureAlgorithm(0x1111).String() != "sigalg(0x1111)" {
+		t.Errorf("unknown sigalg String = %q", SignatureAlgorithm(0x1111).String())
+	}
+}
+
+func TestMinMaxVersion(t *testing.T) {
+	if MaxVersion(TLS10, TLS12) != TLS12 || MinVersion(TLS10, TLS12) != TLS10 {
+		t.Fatal("MinVersion/MaxVersion wrong")
+	}
+}

@@ -1,0 +1,306 @@
+package ciphers
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suite is a TLS ciphersuite identifier as encoded on the wire.
+type Suite uint16
+
+// KeyExchange identifies the key-exchange family of a suite, the property
+// that determines forward secrecy.
+type KeyExchange int
+
+// Key exchange families.
+const (
+	KXRSA KeyExchange = iota
+	KXDHE
+	KXECDHE
+	KXAnon
+	KXExport
+	KXTLS13 // TLS 1.3 suites: key exchange negotiated separately, always (EC)DHE
+)
+
+// Cipher identifies the bulk encryption algorithm of a suite.
+type Cipher int
+
+// Bulk ciphers.
+const (
+	CipherNULL Cipher = iota
+	CipherRC4
+	CipherDES
+	Cipher3DES
+	CipherAES128CBC
+	CipherAES256CBC
+	CipherAES128GCM
+	CipherAES256GCM
+	CipherChaCha20
+)
+
+// SuiteInfo describes a ciphersuite's composition and classification.
+type SuiteInfo struct {
+	ID     Suite
+	Name   string
+	KX     KeyExchange
+	Cipher Cipher
+	// MinVersion is the lowest protocol version that may negotiate the
+	// suite; TLS 1.3 suites require TLS13.
+	MinVersion Version
+	// TLS13Only marks suites defined only for TLS 1.3.
+	TLS13Only bool
+}
+
+// The ciphersuite universe used by the simulated devices and servers.
+// IDs follow the IANA registry.
+const (
+	TLS_NULL_WITH_NULL_NULL                 Suite = 0x0000
+	TLS_RSA_WITH_NULL_SHA                   Suite = 0x0002
+	TLS_RSA_EXPORT_WITH_RC4_40_MD5          Suite = 0x0003
+	TLS_RSA_WITH_RC4_128_MD5                Suite = 0x0004
+	TLS_RSA_WITH_RC4_128_SHA                Suite = 0x0005
+	TLS_RSA_EXPORT_WITH_DES40_CBC_SHA       Suite = 0x0008
+	TLS_RSA_WITH_DES_CBC_SHA                Suite = 0x0009
+	TLS_RSA_WITH_3DES_EDE_CBC_SHA           Suite = 0x000a
+	TLS_DHE_RSA_WITH_DES_CBC_SHA            Suite = 0x0015
+	TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA       Suite = 0x0016
+	TLS_DH_anon_WITH_RC4_128_MD5            Suite = 0x0018
+	TLS_DH_anon_WITH_AES_128_CBC_SHA        Suite = 0x0034
+	TLS_RSA_WITH_AES_128_CBC_SHA            Suite = 0x002f
+	TLS_RSA_WITH_AES_256_CBC_SHA            Suite = 0x0035
+	TLS_DHE_RSA_WITH_AES_128_CBC_SHA        Suite = 0x0033
+	TLS_DHE_RSA_WITH_AES_256_CBC_SHA        Suite = 0x0039
+	TLS_RSA_WITH_AES_128_GCM_SHA256         Suite = 0x009c
+	TLS_RSA_WITH_AES_256_GCM_SHA384         Suite = 0x009d
+	TLS_DHE_RSA_WITH_AES_128_GCM_SHA256     Suite = 0x009e
+	TLS_DHE_RSA_WITH_AES_256_GCM_SHA384     Suite = 0x009f
+	TLS_ECDHE_RSA_WITH_RC4_128_SHA          Suite = 0xc011
+	TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA     Suite = 0xc012
+	TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA      Suite = 0xc013
+	TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA      Suite = 0xc014
+	TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256   Suite = 0xc02f
+	TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384   Suite = 0xc030
+	TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256 Suite = 0xc02b
+	TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384 Suite = 0xc02c
+	TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305    Suite = 0xcca8
+	TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305  Suite = 0xcca9
+	TLS_AES_128_GCM_SHA256                  Suite = 0x1301
+	TLS_AES_256_GCM_SHA384                  Suite = 0x1302
+	TLS_CHACHA20_POLY1305_SHA256            Suite = 0x1303
+)
+
+var registry = map[Suite]SuiteInfo{
+	TLS_NULL_WITH_NULL_NULL:                 {TLS_NULL_WITH_NULL_NULL, "TLS_NULL_WITH_NULL_NULL", KXRSA, CipherNULL, SSL30, false},
+	TLS_RSA_WITH_NULL_SHA:                   {TLS_RSA_WITH_NULL_SHA, "TLS_RSA_WITH_NULL_SHA", KXRSA, CipherNULL, SSL30, false},
+	TLS_RSA_EXPORT_WITH_RC4_40_MD5:          {TLS_RSA_EXPORT_WITH_RC4_40_MD5, "TLS_RSA_EXPORT_WITH_RC4_40_MD5", KXExport, CipherRC4, SSL30, false},
+	TLS_RSA_WITH_RC4_128_MD5:                {TLS_RSA_WITH_RC4_128_MD5, "TLS_RSA_WITH_RC4_128_MD5", KXRSA, CipherRC4, SSL30, false},
+	TLS_RSA_WITH_RC4_128_SHA:                {TLS_RSA_WITH_RC4_128_SHA, "TLS_RSA_WITH_RC4_128_SHA", KXRSA, CipherRC4, SSL30, false},
+	TLS_RSA_EXPORT_WITH_DES40_CBC_SHA:       {TLS_RSA_EXPORT_WITH_DES40_CBC_SHA, "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA", KXExport, CipherDES, SSL30, false},
+	TLS_RSA_WITH_DES_CBC_SHA:                {TLS_RSA_WITH_DES_CBC_SHA, "TLS_RSA_WITH_DES_CBC_SHA", KXRSA, CipherDES, SSL30, false},
+	TLS_RSA_WITH_3DES_EDE_CBC_SHA:           {TLS_RSA_WITH_3DES_EDE_CBC_SHA, "TLS_RSA_WITH_3DES_EDE_CBC_SHA", KXRSA, Cipher3DES, SSL30, false},
+	TLS_DHE_RSA_WITH_DES_CBC_SHA:            {TLS_DHE_RSA_WITH_DES_CBC_SHA, "TLS_DHE_RSA_WITH_DES_CBC_SHA", KXDHE, CipherDES, SSL30, false},
+	TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA:       {TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA, "TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA", KXDHE, Cipher3DES, SSL30, false},
+	TLS_DH_anon_WITH_RC4_128_MD5:            {TLS_DH_anon_WITH_RC4_128_MD5, "TLS_DH_anon_WITH_RC4_128_MD5", KXAnon, CipherRC4, SSL30, false},
+	TLS_DH_anon_WITH_AES_128_CBC_SHA:        {TLS_DH_anon_WITH_AES_128_CBC_SHA, "TLS_DH_anon_WITH_AES_128_CBC_SHA", KXAnon, CipherAES128CBC, TLS10, false},
+	TLS_RSA_WITH_AES_128_CBC_SHA:            {TLS_RSA_WITH_AES_128_CBC_SHA, "TLS_RSA_WITH_AES_128_CBC_SHA", KXRSA, CipherAES128CBC, TLS10, false},
+	TLS_RSA_WITH_AES_256_CBC_SHA:            {TLS_RSA_WITH_AES_256_CBC_SHA, "TLS_RSA_WITH_AES_256_CBC_SHA", KXRSA, CipherAES256CBC, TLS10, false},
+	TLS_DHE_RSA_WITH_AES_128_CBC_SHA:        {TLS_DHE_RSA_WITH_AES_128_CBC_SHA, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA", KXDHE, CipherAES128CBC, TLS10, false},
+	TLS_DHE_RSA_WITH_AES_256_CBC_SHA:        {TLS_DHE_RSA_WITH_AES_256_CBC_SHA, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA", KXDHE, CipherAES256CBC, TLS10, false},
+	TLS_RSA_WITH_AES_128_GCM_SHA256:         {TLS_RSA_WITH_AES_128_GCM_SHA256, "TLS_RSA_WITH_AES_128_GCM_SHA256", KXRSA, CipherAES128GCM, TLS12, false},
+	TLS_RSA_WITH_AES_256_GCM_SHA384:         {TLS_RSA_WITH_AES_256_GCM_SHA384, "TLS_RSA_WITH_AES_256_GCM_SHA384", KXRSA, CipherAES256GCM, TLS12, false},
+	TLS_DHE_RSA_WITH_AES_128_GCM_SHA256:     {TLS_DHE_RSA_WITH_AES_128_GCM_SHA256, "TLS_DHE_RSA_WITH_AES_128_GCM_SHA256", KXDHE, CipherAES128GCM, TLS12, false},
+	TLS_DHE_RSA_WITH_AES_256_GCM_SHA384:     {TLS_DHE_RSA_WITH_AES_256_GCM_SHA384, "TLS_DHE_RSA_WITH_AES_256_GCM_SHA384", KXDHE, CipherAES256GCM, TLS12, false},
+	TLS_ECDHE_RSA_WITH_RC4_128_SHA:          {TLS_ECDHE_RSA_WITH_RC4_128_SHA, "TLS_ECDHE_RSA_WITH_RC4_128_SHA", KXECDHE, CipherRC4, TLS10, false},
+	TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA:     {TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA, "TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA", KXECDHE, Cipher3DES, TLS10, false},
+	TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA:      {TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA", KXECDHE, CipherAES128CBC, TLS10, false},
+	TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA:      {TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA", KXECDHE, CipherAES256CBC, TLS10, false},
+	TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256:   {TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", KXECDHE, CipherAES128GCM, TLS12, false},
+	TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384:   {TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384, "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384", KXECDHE, CipherAES256GCM, TLS12, false},
+	TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256: {TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256, "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", KXECDHE, CipherAES128GCM, TLS12, false},
+	TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384: {TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384, "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384", KXECDHE, CipherAES256GCM, TLS12, false},
+	TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305:    {TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305, "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305", KXECDHE, CipherChaCha20, TLS12, false},
+	TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305:  {TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305, "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305", KXECDHE, CipherChaCha20, TLS12, false},
+	TLS_AES_128_GCM_SHA256:                  {TLS_AES_128_GCM_SHA256, "TLS_AES_128_GCM_SHA256", KXTLS13, CipherAES128GCM, TLS13, true},
+	TLS_AES_256_GCM_SHA384:                  {TLS_AES_256_GCM_SHA384, "TLS_AES_256_GCM_SHA384", KXTLS13, CipherAES256GCM, TLS13, true},
+	TLS_CHACHA20_POLY1305_SHA256:            {TLS_CHACHA20_POLY1305_SHA256, "TLS_CHACHA20_POLY1305_SHA256", KXTLS13, CipherChaCha20, TLS13, true},
+}
+
+// Lookup returns the SuiteInfo for id. ok is false for unknown suites;
+// unknown suites are treated as opaque (never insecure, never strong) so
+// that fingerprinting still works on them.
+func Lookup(id Suite) (SuiteInfo, bool) {
+	info, ok := registry[id]
+	return info, ok
+}
+
+// All returns every registered suite, sorted by ID.
+func All() []SuiteInfo {
+	out := make([]SuiteInfo, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// String renders the IANA name when known.
+func (s Suite) String() string {
+	if info, ok := registry[s]; ok {
+		return info.Name
+	}
+	return fmt.Sprintf("TLS_UNKNOWN_0x%04x", uint16(s))
+}
+
+// Insecure reports whether the suite is in the paper's "insecure" class:
+// DES, 3DES, RC4 or EXPORT (§2, Figure 2). NULL/ANON suites form their
+// own class (NullOrAnon) and are excluded here so the classes partition
+// the registry the way the paper's figures do.
+func (s Suite) Insecure() bool {
+	info, ok := registry[s]
+	if !ok {
+		return false
+	}
+	if s.NullOrAnon() {
+		return false
+	}
+	if info.KX == KXExport {
+		return true
+	}
+	switch info.Cipher {
+	case CipherRC4, CipherDES, Cipher3DES:
+		return true
+	}
+	return false
+}
+
+// NullOrAnon reports whether the suite offers no encryption (NULL) or no
+// authentication (ANON) — the class the paper found devices never use.
+func (s Suite) NullOrAnon() bool {
+	info, ok := registry[s]
+	if !ok {
+		return false
+	}
+	return info.Cipher == CipherNULL || info.KX == KXAnon
+}
+
+// Strong reports whether the suite is in the paper's "strong" class:
+// (EC)DHE key exchange providing perfect forward secrecy (§2, Figure 3).
+// All TLS 1.3 suites qualify. Suites that pair PFS key exchange with an
+// insecure bulk cipher (e.g. ECDHE+RC4) are excluded.
+func (s Suite) Strong() bool {
+	info, ok := registry[s]
+	if !ok {
+		return false
+	}
+	if s.Insecure() || s.NullOrAnon() {
+		return false
+	}
+	switch info.KX {
+	case KXDHE, KXECDHE, KXTLS13:
+		return true
+	}
+	return false
+}
+
+// ForwardSecret reports whether the key exchange provides forward secrecy
+// regardless of bulk cipher quality.
+func (s Suite) ForwardSecret() bool {
+	info, ok := registry[s]
+	if !ok {
+		return false
+	}
+	switch info.KX {
+	case KXDHE, KXECDHE, KXTLS13:
+		return true
+	}
+	return false
+}
+
+// UsableAt reports whether the suite may be negotiated at version v.
+func (s Suite) UsableAt(v Version) bool {
+	info, ok := registry[s]
+	if !ok {
+		return false
+	}
+	if info.TLS13Only {
+		return v >= TLS13
+	}
+	return v >= info.MinVersion && v < TLS13
+}
+
+// SelectSuite implements server-side suite selection: the first suite in
+// serverPrefs that the client offered and that is usable at v. ok is
+// false when there is no overlap.
+func SelectSuite(clientOffer []Suite, serverPrefs []Suite, v Version) (Suite, bool) {
+	offered := make(map[Suite]bool, len(clientOffer))
+	for _, s := range clientOffer {
+		offered[s] = true
+	}
+	for _, s := range serverPrefs {
+		if offered[s] && s.UsableAt(v) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// AnyInsecure reports whether any suite in the list is insecure.
+func AnyInsecure(suites []Suite) bool {
+	for _, s := range suites {
+		if s.Insecure() {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyStrong reports whether any suite in the list is strong.
+func AnyStrong(suites []Suite) bool {
+	for _, s := range suites {
+		if s.Strong() {
+			return true
+		}
+	}
+	return false
+}
+
+// SignatureAlgorithm identifies a TLS signature algorithm, as advertised
+// in the signature_algorithms extension.
+type SignatureAlgorithm uint16
+
+// Signature algorithms referenced by the paper (Table 5 notes the Google
+// Home Mini falling back to RSA_PKCS1_SHA1).
+const (
+	RSA_PKCS1_SHA1   SignatureAlgorithm = 0x0201
+	RSA_PKCS1_SHA256 SignatureAlgorithm = 0x0401
+	RSA_PKCS1_SHA384 SignatureAlgorithm = 0x0501
+	ECDSA_SHA256     SignatureAlgorithm = 0x0403
+	ECDSA_SHA384     SignatureAlgorithm = 0x0503
+	RSA_PSS_SHA256   SignatureAlgorithm = 0x0804
+	ED25519          SignatureAlgorithm = 0x0807
+)
+
+// String renders the algorithm name.
+func (a SignatureAlgorithm) String() string {
+	switch a {
+	case RSA_PKCS1_SHA1:
+		return "rsa_pkcs1_sha1"
+	case RSA_PKCS1_SHA256:
+		return "rsa_pkcs1_sha256"
+	case RSA_PKCS1_SHA384:
+		return "rsa_pkcs1_sha384"
+	case ECDSA_SHA256:
+		return "ecdsa_secp256r1_sha256"
+	case ECDSA_SHA384:
+		return "ecdsa_secp384r1_sha384"
+	case RSA_PSS_SHA256:
+		return "rsa_pss_rsae_sha256"
+	case ED25519:
+		return "ed25519"
+	default:
+		return fmt.Sprintf("sigalg(0x%04x)", uint16(a))
+	}
+}
+
+// Weak reports whether the signature algorithm is considered weak (SHA-1).
+func (a SignatureAlgorithm) Weak() bool { return a == RSA_PKCS1_SHA1 }

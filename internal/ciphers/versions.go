@@ -1,0 +1,122 @@
+// Package ciphers defines the TLS protocol versions, ciphersuites, and
+// signature algorithms used throughout the IoTLS study, together with
+// the security classifications the paper applies to them (§2):
+//
+//   - insecure ciphersuites: DES, 3DES, RC4, EXPORT — "immediate
+//     remediation" per NSA/OWASP guidance;
+//   - NULL/ANON suites: no encryption or no authentication;
+//   - strong suites: (EC)DHE key exchange, providing perfect forward
+//     secrecy.
+package ciphers
+
+import "fmt"
+
+// Version is a TLS/SSL protocol version, encoded as on the wire
+// (major<<8 | minor).
+type Version uint16
+
+// Protocol versions covered by the study, oldest to newest.
+const (
+	SSL30 Version = 0x0300
+	TLS10 Version = 0x0301
+	TLS11 Version = 0x0302
+	TLS12 Version = 0x0303
+	TLS13 Version = 0x0304
+)
+
+// AllVersions lists every version the simulation understands, ascending.
+var AllVersions = []Version{SSL30, TLS10, TLS11, TLS12, TLS13}
+
+// String renders the conventional protocol name.
+func (v Version) String() string {
+	switch v {
+	case SSL30:
+		return "SSL 3.0"
+	case TLS10:
+		return "TLS 1.0"
+	case TLS11:
+		return "TLS 1.1"
+	case TLS12:
+		return "TLS 1.2"
+	case TLS13:
+		return "TLS 1.3"
+	default:
+		return fmt.Sprintf("TLS(0x%04x)", uint16(v))
+	}
+}
+
+// Known reports whether v is one of the versions in AllVersions.
+func (v Version) Known() bool {
+	switch v {
+	case SSL30, TLS10, TLS11, TLS12, TLS13:
+		return true
+	}
+	return false
+}
+
+// Deprecated reports whether the version is deprecated for general use.
+// By 2020 all major browsers had deprecated everything below TLS 1.2 (§2).
+func (v Version) Deprecated() bool { return v < TLS12 }
+
+// VersionBand is the coarse grouping used by Figure 1's heatmap rows:
+// TLS 1.3, TLS 1.2, or "older versions".
+type VersionBand int
+
+// Figure 1 bands, in the paper's top-to-bottom row order.
+const (
+	Band13 VersionBand = iota
+	Band12
+	BandOld
+)
+
+// Band returns the Figure-1 band for the version.
+func (v Version) Band() VersionBand {
+	switch {
+	case v >= TLS13:
+		return Band13
+	case v == TLS12:
+		return Band12
+	default:
+		return BandOld
+	}
+}
+
+// String implements fmt.Stringer for heatmap labels.
+func (b VersionBand) String() string {
+	switch b {
+	case Band13:
+		return "1.3"
+	case Band12:
+		return "1.2"
+	default:
+		return "old"
+	}
+}
+
+// MaxVersion returns the larger of a and b.
+func MaxVersion(a, b Version) Version {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinVersion returns the smaller of a and b.
+func MinVersion(a, b Version) Version {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Negotiate returns the highest version supported by both sides, following
+// the TLS rule that the server picks the highest mutually supported
+// version at or below the client's advertised maximum. ok is false when
+// the ranges do not overlap.
+func Negotiate(clientMin, clientMax, serverMin, serverMax Version) (Version, bool) {
+	v := MinVersion(clientMax, serverMax)
+	if v < MaxVersion(clientMin, serverMin) {
+		return 0, false
+	}
+	return v, true
+}

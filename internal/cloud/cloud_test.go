@@ -1,0 +1,133 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/device"
+	"repro/internal/driver"
+	"repro/internal/netem"
+)
+
+func newCloud(t *testing.T) (*netem.Network, *device.Registry, *Cloud) {
+	t.Helper()
+	clk := clock.NewSimulated(device.StudyStart.Start())
+	nw := netem.New(clk)
+	reg := device.NewRegistry(clk)
+	return nw, reg, New(nw, reg)
+}
+
+func TestEveryDestinationHasAServer(t *testing.T) {
+	_, reg, cl := newCloud(t)
+	for _, dev := range reg.Devices {
+		for _, dst := range dev.Destinations {
+			if _, ok := cl.ServerConfigFor(dst.Host); !ok {
+				t.Errorf("no server for %s (%s)", dst.Host, dev.ID)
+			}
+		}
+	}
+}
+
+func TestServerCertificatesValid(t *testing.T) {
+	_, reg, cl := newCloud(t)
+	if !ValidAtStudyTime() {
+		t.Fatal("cloud PKI window does not cover the study")
+	}
+	// Every server's chain validates against every device's root store
+	// (the operational CAs are universally trusted).
+	dev, _ := reg.Get("nest-thermostat")
+	cfg, _ := cl.ServerConfigFor("transport.home.nest.com")
+	if len(cfg.Chain) != 2 {
+		t.Fatalf("chain length = %d", len(cfg.Chain))
+	}
+	if !dev.Roots.Contains(cfg.Chain[1]) {
+		t.Fatal("device does not trust the cloud CA")
+	}
+	if cfg.Chain[0].OCSPServer != OCSPHost || cfg.Chain[0].CRLServer != CRLHost {
+		t.Fatal("revocation endpoints missing from leaf")
+	}
+}
+
+func TestProfilesNegotiateAsConfigured(t *testing.T) {
+	nw, reg, _ := newCloud(t)
+	cases := []struct {
+		devID, host string
+		wantVersion ciphers.Version
+		wantStrong  bool
+	}{
+		{"nest-thermostat", "transport.home.nest.com", ciphers.TLS12, true}, // modern-pfs vs 1.2 client
+		{"samsung-fridge", "fridge.samsungiot.com", ciphers.TLS11, false},   // legacy-11
+		{"wemo-plug", "api.xbcs.net", ciphers.TLS10, false},                 // legacy-10
+		{"zmodo-doorbell", "api0.zmodo.com", ciphers.TLS12, false},          // rsa-only
+	}
+	for _, c := range cases {
+		dev, _ := reg.Get(c.devID)
+		var dst device.Destination
+		for _, d := range dev.Destinations {
+			if d.Host == c.host {
+				dst = d
+			}
+		}
+		out := driver.Connect(nw, dev, dst, device.StudyStart, 1)
+		if !out.Established {
+			t.Errorf("%s -> %s failed: %v", c.devID, c.host, out.Err)
+			continue
+		}
+		if out.Version != c.wantVersion {
+			t.Errorf("%s -> %s version = %v, want %v", c.devID, c.host, out.Version, c.wantVersion)
+		}
+		if got := out.Suite.Strong(); got != c.wantStrong {
+			t.Errorf("%s -> %s strong = %v (suite %v), want %v", c.devID, c.host, got, out.Suite, c.wantStrong)
+		}
+	}
+}
+
+func TestForceVersionRoundTrip(t *testing.T) {
+	nw, reg, cl := newCloud(t)
+	dev, _ := reg.Get("zmodo-doorbell")
+	host := dev.Destinations[0].Host
+	if !cl.SetForceVersion(host, ciphers.TLS10) {
+		t.Fatal("SetForceVersion failed")
+	}
+	out := driver.Connect(nw, dev, dev.Destinations[0], device.StudyStart, 1)
+	if !out.Established || out.Version != ciphers.TLS10 {
+		t.Fatalf("forced connect = %+v", out)
+	}
+	cl.SetForceVersion(host, 0)
+	out = driver.Connect(nw, dev, dev.Destinations[0], device.StudyStart, 2)
+	if !out.Established || out.Version != ciphers.TLS12 {
+		t.Fatalf("restored connect = %+v", out)
+	}
+	if cl.SetForceVersion("missing.example.com", ciphers.TLS10) {
+		t.Fatal("SetForceVersion succeeded for unknown host")
+	}
+}
+
+func TestHandshakeCounter(t *testing.T) {
+	nw, reg, cl := newCloud(t)
+	dev, _ := reg.Get("behmor-brewer")
+	driver.Connect(nw, dev, dev.Destinations[0], device.StudyStart, 1)
+	if cl.Handshakes() != 1 {
+		t.Fatalf("handshakes = %d", cl.Handshakes())
+	}
+}
+
+func TestRespondersRejectGarbage(t *testing.T) {
+	nw, _, cl := newCloud(t)
+	conn, err := nw.Dial("tester", OCSPHost, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GARBAGE\n"))
+	buf := make([]byte, 16)
+	n, _ := conn.Read(buf)
+	conn.Close()
+	if n > 0 && strings.Contains(string(buf[:n]), "OCSP-GOOD") {
+		t.Fatal("responder answered garbage")
+	}
+	if len(cl.OCSPHits()) != 0 {
+		t.Fatal("garbage counted as OCSP hit")
+	}
+}

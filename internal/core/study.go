@@ -1,0 +1,316 @@
+// Package core orchestrates the full IoTLS study: it assembles the
+// testbed (virtual clock, in-memory network, 40 device models, cloud
+// endpoints, gateway capture), runs the passive longitudinal collection
+// and every active experiment, and renders the complete set of paper
+// artifacts (Tables 1-9, Figures 1-5, and the §4/§5 statistics).
+//
+// This is the package downstream users drive; see examples/ for usage.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/capture"
+	"repro/internal/clock"
+	"repro/internal/cloud"
+	"repro/internal/device"
+	"repro/internal/driver"
+	"repro/internal/fingerprint"
+	"repro/internal/mitm"
+	"repro/internal/netem"
+	"repro/internal/probe"
+	"repro/internal/traffic"
+)
+
+// Study is the assembled testbed.
+type Study struct {
+	Clock     *clock.Simulated
+	Network   *netem.Network
+	Registry  *device.Registry
+	Cloud     *cloud.Cloud
+	Store     *capture.Store
+	Collector *capture.Collector
+	Proxy     *mitm.Proxy
+	Prober    *probe.Prober
+}
+
+// NewStudy builds a fresh testbed with the gateway mirror armed.
+func NewStudy() *Study {
+	clk := clock.NewSimulated(device.StudyStart.Start())
+	nw := netem.New(clk)
+	reg := device.NewRegistry(clk)
+	cl := cloud.New(nw, reg)
+	store := capture.NewStore()
+	col := capture.NewCollector(store)
+	nw.SetMirror(col.Mirror)
+	proxy := mitm.NewProxy(nw, reg.Universe)
+	return &Study{
+		Clock:     clk,
+		Network:   nw,
+		Registry:  reg,
+		Cloud:     cl,
+		Store:     store,
+		Collector: col,
+		Proxy:     proxy,
+		Prober:    probe.New(proxy, reg),
+	}
+}
+
+// NameOf maps a device ID to its display name.
+func (s *Study) NameOf(id string) string {
+	if d, ok := s.Registry.Get(id); ok {
+		return d.Name
+	}
+	return id
+}
+
+// RunPassive simulates the full two-year passive collection.
+func (s *Study) RunPassive() (*traffic.Stats, error) {
+	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
+	return gen.RunStudy()
+}
+
+// advanceToActiveWindow moves the virtual clock to the 2021 snapshot.
+func (s *Study) advanceToActiveWindow() {
+	at := device.ActiveSnapshot.Start()
+	if s.Clock.Now().Before(at) {
+		s.Clock.AdvanceTo(at)
+	}
+}
+
+// CaptureActiveSnapshot reboots every active device at the 2021
+// snapshot, recording its traffic into a dedicated store — the data
+// behind the fingerprinting analysis (§5.3).
+func (s *Study) CaptureActiveSnapshot() (*capture.Store, error) {
+	s.advanceToActiveWindow()
+	store := capture.NewStore()
+	col := capture.NewCollector(store)
+	s.Network.SetMirror(col.Mirror)
+	defer s.Network.SetMirror(s.Collector.Mirror)
+
+	expected := 0
+	for i, dev := range s.Registry.ActiveDevices() {
+		outs := driver.Boot(s.Network, dev, device.ActiveSnapshot, uint64(i)*100000)
+		expected += len(outs)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for store.Len() < expected {
+		if time.Now().After(deadline) {
+			return store, fmt.Errorf("core: active capture lagging: %d/%d", store.Len(), expected)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return store, nil
+}
+
+// RunInterceptionSuite attacks every active device (Table 7).
+func (s *Study) RunInterceptionSuite() []*mitm.InterceptionReport {
+	s.advanceToActiveWindow()
+	var out []*mitm.InterceptionReport
+	for _, dev := range s.Registry.ActiveDevices() {
+		out = append(out, s.Proxy.RunInterception(dev))
+	}
+	return out
+}
+
+// RunDowngradeSuite probes every active device for downgrade behaviour
+// (Table 5).
+func (s *Study) RunDowngradeSuite() []*mitm.DowngradeReport {
+	s.advanceToActiveWindow()
+	var out []*mitm.DowngradeReport
+	for _, dev := range s.Registry.ActiveDevices() {
+		out = append(out, s.Proxy.RunDowngrade(dev))
+	}
+	return out
+}
+
+// RunOldVersionSuite checks old-version establishment for every active
+// device (Table 6).
+func (s *Study) RunOldVersionSuite() []*mitm.OldVersionReport {
+	s.advanceToActiveWindow()
+	var out []*mitm.OldVersionReport
+	for _, dev := range s.Registry.ActiveDevices() {
+		out = append(out, mitm.RunOldVersionCheck(s.Network, s.Cloud, dev))
+	}
+	return out
+}
+
+// RunPassthroughSuite runs the TrafficPassthrough control for every
+// active device (§4.2).
+func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
+	s.advanceToActiveWindow()
+	var out []*mitm.PassthroughReport
+	for _, dev := range s.Registry.ActiveDevices() {
+		out = append(out, s.Proxy.RunPassthrough(dev))
+	}
+	return out
+}
+
+// RunProbe explores every probe candidate's root store (Table 9,
+// Figure 4).
+func (s *Study) RunProbe() (amenable []*probe.Report, candidates int, err error) {
+	s.advanceToActiveWindow()
+	return s.Prober.ExploreAll()
+}
+
+// Report is the full set of computed artifacts.
+type Report struct {
+	PassiveStats *traffic.Stats
+
+	Figure1 *analysis.Figure1
+	Figure2 *analysis.CipherFigure
+	Figure3 *analysis.CipherFigure
+	Figure4 *analysis.Figure4
+	Figure5 *analysis.Figure5
+
+	Table4Rows    []analysis.Table4Row
+	Downgrades    []*mitm.DowngradeReport
+	OldVersions   []*mitm.OldVersionReport
+	Interceptions []*mitm.InterceptionReport
+	Table8        *analysis.Table8
+	ProbeReports  []*probe.Report
+
+	Comparison  *analysis.PriorWorkComparison
+	Passthrough *analysis.PassthroughStat
+	Dataset     *analysis.DatasetSummary
+	Diversity   *analysis.VersionDiversity
+}
+
+// RunAll executes the complete study: passive collection, every active
+// experiment, the probe, and all analyses.
+func (s *Study) RunAll() (*Report, error) {
+	rep := &Report{}
+	var err error
+	if rep.PassiveStats, err = s.RunPassive(); err != nil {
+		return nil, fmt.Errorf("passive: %w", err)
+	}
+
+	nameOf := s.NameOf
+	rep.Figure1 = analysis.BuildFigure1(s.Store, nameOf)
+	rep.Figure2 = analysis.BuildFigure2(s.Store, nameOf)
+	rep.Figure3 = analysis.BuildFigure3(s.Store, nameOf)
+	rep.Comparison = analysis.BuildPriorWorkComparison(s.Store)
+	rep.Dataset = analysis.BuildDatasetSummary(s.Store)
+	rep.Diversity = analysis.BuildVersionDiversity(s.Store, nameOf)
+	rep.Table8 = analysis.BuildTable8(s.Store, s.deviceIDs(), nameOf)
+
+	activeStore, err := s.CaptureActiveSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("active capture: %w", err)
+	}
+	rep.Figure5 = analysis.BuildFigure5(activeStore, device.ReferenceDB(), nameOf)
+
+	rep.Table4Rows = analysis.BuildTable4()
+	rep.Downgrades = s.RunDowngradeSuite()
+	rep.OldVersions = s.RunOldVersionSuite()
+	rep.Interceptions = s.RunInterceptionSuite()
+
+	probeReports, _, err := s.RunProbe()
+	if err != nil {
+		return nil, fmt.Errorf("probe: %w", err)
+	}
+	rep.ProbeReports = probeReports
+	rep.Figure4 = analysis.BuildFigure4(probeReports, nameOf)
+
+	passthrough := s.RunPassthroughSuite()
+	rep.Passthrough = analysis.BuildPassthroughStat(passthrough)
+	rep.Passthrough.NoNewValidationFailures = s.verifyNoNewFailures(passthrough, rep.Interceptions)
+	return rep, nil
+}
+
+// verifyNoNewFailures re-runs the Table 2 attacks against every host the
+// passthrough control newly exposed and checks none of them reveals a
+// certificate-validation failure beyond what the main interception
+// suite already found (§4.2: "TrafficPassthrough experiments did not
+// lead to finding any new certificate validation failures").
+func (s *Study) verifyNoNewFailures(passthrough []*mitm.PassthroughReport, interceptions []*mitm.InterceptionReport) bool {
+	known := map[string]map[string]bool{} // device -> vulnerable host set
+	for _, r := range interceptions {
+		set := map[string]bool{}
+		for _, h := range r.VulnerableHosts() {
+			set[h] = true
+		}
+		known[r.Device] = set
+	}
+	for _, pr := range passthrough {
+		dev, ok := s.Registry.Get(pr.Device)
+		if !ok {
+			continue
+		}
+		for _, host := range pr.NewHosts {
+			var dst *device.Destination
+			for i := range dev.Destinations {
+				if dev.Destinations[i].Host == host {
+					dst = &dev.Destinations[i]
+				}
+			}
+			if dst == nil {
+				continue
+			}
+			for _, attack := range []mitm.Attack{mitm.AttackNoValidation, mitm.AttackInvalidBasicConstraints, mitm.AttackWrongHostname} {
+				res := s.Proxy.AttackOne(dev, *dst, attack)
+				if res.Vulnerable && !known[pr.Device][host] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (s *Study) deviceIDs() []string {
+	var out []string
+	for _, d := range s.Registry.Devices {
+		out = append(out, d.ID)
+	}
+	return out
+}
+
+// Render produces the full textual report.
+func (r *Report) Render(s *Study) string {
+	var b strings.Builder
+	nameOf := s.NameOf
+	b.WriteString(analysis.RenderTable1(s.Registry))
+	b.WriteByte('\n')
+	b.WriteString(analysis.RenderTable2())
+	b.WriteByte('\n')
+	b.WriteString(analysis.RenderTable3())
+	b.WriteByte('\n')
+	b.WriteString(analysis.RenderTable4(r.Table4Rows))
+	b.WriteByte('\n')
+	b.WriteString(r.Figure1.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.Figure2.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.Figure3.Render())
+	b.WriteByte('\n')
+	b.WriteString(analysis.RenderTable5(r.Downgrades, nameOf))
+	b.WriteByte('\n')
+	b.WriteString(analysis.RenderTable6(r.OldVersions, nameOf))
+	b.WriteByte('\n')
+	b.WriteString(analysis.RenderTable7(r.Interceptions, nameOf))
+	b.WriteByte('\n')
+	b.WriteString(r.Table8.Render())
+	b.WriteByte('\n')
+	b.WriteString(analysis.RenderTable9(r.ProbeReports, nameOf))
+	b.WriteByte('\n')
+	b.WriteString(r.Figure4.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.Figure5.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.Comparison.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.Passthrough.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.Dataset.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.Diversity.Render())
+	return b.String()
+}
+
+// FingerprintDB exposes the reference database (re-exported for
+// examples).
+func FingerprintDB() *fingerprint.DB { return device.ReferenceDB() }

@@ -1,0 +1,608 @@
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Helpers for terse catalog entries.
+
+func ph(year int, month time.Month, t Template) Phase {
+	return Phase{From: clock.Month{Year: year, Mon: month}, Template: t}
+}
+
+func ph0(t Template) Phase { return Phase{Template: t} }
+
+func mon(year int, month time.Month) clock.Month {
+	return clock.Month{Year: year, Mon: month}
+}
+
+// d builds one destination.
+func d(host string, slot int, boot bool, monthly int, srv ServerProfile, firstParty bool) Destination {
+	return Destination{Host: host, Slot: slot, Boot: boot, MonthlyConns: monthly, Server: srv, FirstParty: firstParty}
+}
+
+// dn builds n numbered destinations sharing one shape.
+func dn(pattern string, n, slot int, boot bool, monthly int, srv ServerProfile, firstParty bool) []Destination {
+	out := make([]Destination, n)
+	for i := range out {
+		out[i] = d(fmt.Sprintf(pattern, i), slot, boot, monthly, srv, firstParty)
+	}
+	return out
+}
+
+func cat(lists ...[]Destination) []Destination {
+	var out []Destination
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// catalog defines the full 40-device testbed (Table 1). Ground truth is
+// aligned with every table and figure of the paper; see DESIGN.md's
+// experiment index for the mapping.
+func catalog() []*Device {
+	full := func() (clock.Month, clock.Month) { return StudyStart, StudyEnd }
+	_ = full
+
+	var devices []*Device
+
+	// ---------------- Cameras (7) ----------------
+
+	devices = append(devices, &Device{
+		ID: "blink-camera", UnitsSoldMillions: 3, Name: "Blink Camera", Category: CatCamera,
+		PassiveOnly: true, RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{ph0(tmplClean12)}}},
+		Destinations: []Destination{
+			d("rest.immedia-semi.com", 0, true, 9000, SrvModernPFS, true),
+			d("clips.immedia-semi.com", 0, false, 4000, SrvModernPFS, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: mon(2019, 6),
+	})
+
+	devices = append(devices, &Device{
+		ID: "amazon-cloudcam", UnitsSoldMillions: 1, Name: "Amazon Cloudcam", Category: CatCamera,
+		PassiveOnly: true, RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{ph0(tmplClean12)}}},
+		Destinations: []Destination{
+			d("cloudcam.amazon.com", 0, true, 11000, SrvModernPFS, true),
+			d("s3.amazonaws.com", 0, false, 5000, SrvModernPFS, false),
+		},
+		ActiveFrom: StudyStart, ActiveTo: mon(2019, 3),
+	})
+
+	devices = append(devices, &Device{
+		ID: "zmodo-doorbell", UnitsSoldMillions: 2, Name: "Zmodo Doorbell", Category: CatCamera,
+		RebootSuitable: true,
+		SensitiveToken: "encrypt_key=9f3a-zmodo-device-key",
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplNoValidationZmodo)}}},
+		Destinations: cat(
+			dn("api%d.zmodo.com", 4, 0, true, 3000, SrvRSAOnly, true),
+			[]Destination{
+				d("push.zmodo.com", 0, true, 2000, SrvRSAOnly, true),
+				d("upgrade.zmodo.com", 0, true, 500, SrvLegacy10, true),
+			},
+		),
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "yi-camera", UnitsSoldMillions: 5, Name: "Yi Camera", Category: CatCamera,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplYiGiveUp)}}},
+		Destinations: []Destination{
+			d("api.yitechnology.com", 0, true, 7000, SrvRSAOnly, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "dlink-camera", UnitsSoldMillions: 3, Name: "D-Link Camera", Category: CatCamera,
+		RebootSuitable: true,
+		Slots: []*Slot{
+			{Label: "boot", Phases: []Phase{ph0(tmplWolfEmbedded12)}},
+			{Label: "media", Phases: []Phase{ph0(tmplOpenSSLOld12)}},
+		},
+		Destinations: []Destination{
+			d("api.mydlink.com", 0, true, 4000, SrvModern12, true),
+			d("media.mydlink.com", 1, true, 6000, SrvRSAOnly, true),
+			{Host: "signal.mydlink.com", Slot: 0, Boot: true, AfterLogin: true, MonthlyConns: 1200, Server: SrvModern12, FirstParty: true},
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "amcrest-camera", UnitsSoldMillions: 2, Name: "Amcrest Camera", Category: CatCamera,
+		RebootSuitable: true,
+		SensitiveToken: "command-server-credential=amc-0031",
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplNoValidationAmcrest)}}},
+		Destinations: []Destination{
+			d("command.amcrestcloud.com", 0, true, 5000, SrvRSAOnly, true),
+			d("storage.amcrestcloud.com", 0, true, 3000, SrvRSAOnly, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "ring-doorbell", UnitsSoldMillions: 5, Name: "Ring Doorbell", Category: CatCamera,
+		PassiveOnly: true, RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{
+			ph0(tmplRingLegacy),
+			ph(2018, 4, tmplRingPFS), // Figure 3: PFS adoption 4/2018
+		}}},
+		Destinations: []Destination{
+			d("fw.ring.com", 0, true, 8000, SrvModern12, true),
+			d("clips.ring.com", 0, false, 6000, SrvModern12, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: mon(2019, 9),
+	})
+
+	// ---------------- Smart Hubs (7) ----------------
+
+	devices = append(devices, &Device{
+		ID: "blink-hub", UnitsSoldMillions: 2, Name: "Blink Hub", Category: CatHub,
+		RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{
+			ph0(tmplBlinkHub11),
+			ph(2018, 7, tmplBlinkHub12),    // Figure 1: TLS 1.2 transition
+			ph(2019, 5, tmplBlinkHubClean), // Figure 2: weak suites dropped
+			ph(2019, 10, tmplBlinkHubPFS),  // Figure 3: PFS adoption
+		}}},
+		Destinations: []Destination{
+			d("rest.immedia-semi.com", 0, true, 7000, SrvModernPFS, true),
+			d("updates.immedia-semi.com", 0, true, 800, SrvModernPFS, true),
+			{Host: "prod.immedia-semi.com", Slot: 0, Boot: true, AfterLogin: true, MonthlyConns: 1000, Server: SrvModernPFS, FirstParty: true},
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "smartthings-hub", UnitsSoldMillions: 5, Name: "Smartthings Hub", Category: CatHub,
+		RebootSuitable: true,
+		Slots: []*Slot{
+			{Label: "main", Phases: []Phase{
+				ph0(tmplSmartThingsOld),
+				ph(2020, 3, tmplSmartThingsClean), // Figure 2: cleaned 3/2020
+			}},
+			{Label: "aux", Phases: []Phase{ph0(tmplNoValidation12)}},
+		},
+		Destinations: []Destination{
+			d("api.smartthings.com", 0, true, 9000, SrvModernPFS, true),
+			d("fw-update.smartthings.com", 0, true, 600, SrvModernPFS, true),
+			d("metrics.smartthings.com", 1, true, 2500, SrvRSAOnly, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "philips-hub", UnitsSoldMillions: 8, Name: "Philips Hub", Category: CatHub,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplGnuTLSOld)}}},
+		Destinations: []Destination{
+			d("ws.meethue.com", 0, true, 6000, SrvModern12, true),
+			d("diagnostics.meethue.com", 0, false, 1500, SrvModern12, true),
+			{Host: "portal.meethue.com", Slot: 0, Boot: true, AfterLogin: true, MonthlyConns: 900, Server: SrvModern12, FirstParty: true},
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "wink-hub-2", UnitsSoldMillions: 1, Name: "Wink Hub 2", Category: CatHub,
+		RebootSuitable: true,
+		Slots: []*Slot{
+			{Label: "main", Phases: []Phase{
+				ph0(tmplOpenSSLOldStaple),
+			}},
+			{Label: "legacy", Phases: []Phase{ph0(tmplNoValidation)}},
+		},
+		Destinations: []Destination{
+			d("api.wink.com", 0, true, 8000, SrvModernPFS, true),
+			d("hooks.wink.com", 1, true, 3000, SrvLegacyRC4, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+		Plan: &RootPlan{CommonIncluded: 109, CommonConclusive: 119, DeprecatedIncluded: 27, DeprecatedConclusive: 72},
+	})
+
+	devices = append(devices, &Device{
+		ID: "sengled-hub", UnitsSoldMillions: 1, Name: "Sengled Hub", Category: CatHub,
+		PassiveOnly: true, RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{ph0(tmplClean12)}}},
+		Destinations: []Destination{
+			d("cloud.sengled.com", 0, true, 2500, SrvModernPFS, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: mon(2018, 9),
+	})
+
+	devices = append(devices, &Device{
+		ID: "switchbot-hub", UnitsSoldMillions: 2, Name: "Switchbot Hub", Category: CatHub,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplClean12)}}},
+		Destinations: []Destination{
+			d("api.switch-bot.com", 0, true, 2000, SrvModernPFS, true),
+			d("push.switch-bot.com", 0, false, 1000, SrvModernPFS, true),
+			{Host: "fw.switch-bot.com", Slot: 0, Boot: true, AfterLogin: true, MonthlyConns: 300, Server: SrvModernPFS, FirstParty: true},
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "insteon-hub", UnitsSoldMillions: 1, Name: "Insteon Hub", Category: CatHub,
+		PassiveOnly: true, RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{
+			ph0(tmplInsteon12),
+			ph(2018, 7, tmplInsteonOld),   // Figure 1: old-version period
+			ph(2019, 9, tmplInsteonFinal), // Figure 1: clean 1.2 after
+		}}},
+		Destinations: []Destination{
+			d("connect.insteon.com", 0, true, 4000, SrvModern12, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	// ---------------- Home Automation (7) ----------------
+
+	devices = append(devices, &Device{
+		ID: "smartlife-bulb", UnitsSoldMillions: 6, Name: "Smartlife Bulb", Category: CatAutomation,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplWolfEmbedded12)}}},
+		Destinations: []Destination{
+			d("a1.tuyaus.com", 0, true, 3000, SrvRSAOnly, true),
+			{Host: "a2.tuyaus.com", Slot: 0, Boot: true, AfterLogin: true, MonthlyConns: 1100, Server: SrvRSAOnly, FirstParty: true},
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "smartlife-remote", UnitsSoldMillions: 2, Name: "Smartlife Remote", Category: CatAutomation,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplWolfEmbedded12)}}},
+		Destinations: []Destination{
+			d("a1.tuyaus.com", 0, true, 2500, SrvRSAOnly, true),
+			d("mq.tuyaus.com", 0, false, 4000, SrvRSAOnly, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "meross-dooropener", UnitsSoldMillions: 1, Name: "Meross Dooropener", Category: CatAutomation,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplWolfEmbeddedOld)}}},
+		Destinations: []Destination{
+			d("iot.meross.com", 0, true, 2800, SrvRSAOnly, true),
+			{Host: "mqtt.meross.com", Slot: 0, Boot: true, AfterLogin: true, MonthlyConns: 1500, Server: SrvRSAOnly, FirstParty: true},
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "tplink-bulb", UnitsSoldMillions: 5, Name: "TP-Link Bulb", Category: CatAutomation,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplWolfEmbeddedOld)}}},
+		Destinations: []Destination{
+			d("devs.tplinkcloud.com", 0, true, 3500, SrvRSAOnly, true),
+			{Host: "uploads.tplinkcloud.com", Slot: 0, Boot: true, AfterLogin: true, MonthlyConns: 700, Server: SrvRSAOnly, FirstParty: true},
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "nest-thermostat", UnitsSoldMillions: 11, Name: "Nest Thermostat", Category: CatAutomation,
+		RebootSuitable: false, // §5.2: thermostats excluded from reboots
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplClean12)}}},
+		Destinations: []Destination{
+			d("transport.home.nest.com", 0, true, 12000, SrvModernPFS, true),
+			d("time.nest.com", 0, false, 3000, SrvModernPFS, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "tplink-plug", UnitsSoldMillions: 6, Name: "TP-Link Plug", Category: CatAutomation,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplWolfEmbedded12)}}},
+		Destinations: []Destination{
+			d("devs.tplinkcloud.com", 0, true, 2200, SrvRSAOnly, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "wemo-plug", UnitsSoldMillions: 3, Name: "Wemo Plug", Category: CatAutomation,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplWemo)}}},
+		Destinations: []Destination{
+			d("api.xbcs.net", 0, true, 3000, SrvLegacy10, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	// ---------------- TV (5) ----------------
+
+	fireTVDests := cat(
+		dn("fire-api%02d.amazon.com", 13, 0, true, 2500, SrvModern12, true),         // fallback-capable slot
+		dn("fire-cdn%02d.amazon.com", 7, 1, true, 2000, SrvModernPFS, true),         // no-fallback slot
+		[]Destination{d("det-ta-g7g.amazon.com", 2, true, 1500, SrvModern12, true)}, // WrongHostname-vulnerable
+	)
+	devices = append(devices, &Device{
+		ID: "amazon-fire-tv", UnitsSoldMillions: 50, Name: "Amazon Fire TV", Category: CatTV,
+		RebootSuitable: true,
+		SensitiveToken: "Bearer atna|fire-tv-3aa",
+		Slots: []*Slot{
+			{Label: "system", Phases: []Phase{ph0(tmplAndroidJSSE)},
+				Fallback: &Fallback{OnIncomplete: true, Template: tmplAmazonSSL3Fallback}},
+			{Label: "apps", Phases: []Phase{ph0(tmplAmazon)}},
+			{Label: "metrics", Phases: []Phase{ph0(tmplAmazonWrongHostname)}},
+		},
+		Destinations: fireTVDests,
+		ActiveFrom:   StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "samsung-tv", UnitsSoldMillions: 25, Name: "Samsung TV", Category: CatTV,
+		PassiveOnly: true, RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{ph0(tmplSamsungTV)}}},
+		Destinations: []Destination{
+			d("api.samsungcloudsolution.com", 0, true, 15000, SrvModern12, true),
+			d("ads.samsungads.com", 0, false, 9000, SrvLegacy11, false),
+		},
+		ActiveFrom: StudyStart, ActiveTo: mon(2019, 12),
+	})
+
+	devices = append(devices, &Device{
+		ID: "lg-tv", UnitsSoldMillions: 15, Name: "LG TV", Category: CatTV,
+		RebootSuitable: true,
+		SensitiveToken: "deviceSecret=lgtv-7b21",
+		Slots: []*Slot{
+			{Label: "main", Phases: []Phase{ph0(tmplOpenSSLOldStaple)}},
+			{Label: "apps", Phases: []Phase{ph0(tmplNoValidation)}},
+		},
+		Destinations: []Destination{
+			d("lgtvsdp.com", 0, true, 14000, SrvModern12, true),
+			d("smartshare.lgappstv.com", 1, true, 6000, SrvLegacyRC4, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+		Plan: &RootPlan{CommonIncluded: 96, CommonConclusive: 103, DeprecatedIncluded: 48, DeprecatedConclusive: 82},
+	})
+
+	rokuDests := cat(
+		dn("roku-api%02d.roku.com", 8, 0, true, 3000, SrvModern12, true),
+		dn("roku-cdn%02d.roku.com", 7, 1, true, 2500, SrvModernPFS, true),
+	)
+	devices = append(devices, &Device{
+		ID: "roku-tv", UnitsSoldMillions: 10, Name: "Roku TV", Category: CatTV,
+		RebootSuitable: true,
+		Slots: []*Slot{
+			{Label: "system", Phases: []Phase{ph0(tmplRoku)},
+				Fallback: &Fallback{OnIncomplete: true, OnFailed: true, Template: tmplRokuFallback}},
+			{Label: "channels", Phases: []Phase{ph0(tmplRokuSecondary)}},
+		},
+		Destinations: rokuDests,
+		ActiveFrom:   StudyStart, ActiveTo: StudyEnd,
+		Plan: &RootPlan{CommonIncluded: 96, CommonConclusive: 106, DeprecatedIncluded: 33, DeprecatedConclusive: 81},
+	})
+
+	devices = append(devices, &Device{
+		ID: "apple-tv", UnitsSoldMillions: 25, Name: "Apple TV", Category: CatTV,
+		RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{
+			ph0(tmplAppleLegacy),
+			ph(2018, 10, tmplAppleWeakened), // Figure 2: weak suites added
+			ph(2019, 3, tmplApplePFS),       // Figure 3: PFS adoption
+			ph(2019, 5, tmplAppleTLS13),     // Figure 1: TLS 1.3
+		}}},
+		Destinations: []Destination{
+			d("gs-loc.apple.com", 0, true, 10000, SrvModern12, true),
+			d("xp.apple.com", 0, true, 8000, SrvModern12, true),
+			d("play.itunes.apple.com", 0, false, 12000, SrvModern12, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	// ---------------- Audio (7) ----------------
+
+	devices = append(devices, &Device{
+		ID: "google-home-mini", UnitsSoldMillions: 30, Name: "Google Home Mini", Category: CatAudio,
+		RebootSuitable: true,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{
+			ph0(tmplHomeMini12),
+			ph(2019, 5, tmplHomeMini13), // Figure 1: TLS 1.3
+		}, Fallback: &Fallback{OnIncomplete: true, Template: tmplHomeMiniFallback}}},
+		Destinations: cat(
+			dn("home-devices%d.clients6.google.com", 5, 0, true, 9000, SrvModernPFS, true),
+		),
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+		Plan: &RootPlan{CommonIncluded: 119, CommonConclusive: 119, DeprecatedIncluded: 4, DeprecatedConclusive: 71},
+	})
+
+	echoPlusDests := cat(
+		dn("avs-plus%d.amazon.com", 6, 0, true, 7000, SrvModern12, true),
+		[]Destination{
+			d("ntp-plus.amazon.com", 1, true, 1000, SrvModern12, true),
+			d("todo-ta-g7g.amazon.com", 2, false, 3000, SrvModern12, true), // vulnerable app dest
+		},
+	)
+	devices = append(devices, &Device{
+		ID: "amazon-echo-plus", UnitsSoldMillions: 5, Name: "Amazon Echo Plus", Category: CatAudio,
+		RebootSuitable: true,
+		SensitiveToken: "Bearer atna|echo-plus-17c",
+		Slots: []*Slot{
+			{Label: "avs", Phases: []Phase{ph0(tmplAmazonNoStaple)},
+				Fallback: &Fallback{OnIncomplete: true, Template: tmplAmazonSSL3Fallback}},
+			{Label: "ntp", Phases: []Phase{ph0(tmplAmazonNoStaple)}},
+			{Label: "todo", Phases: []Phase{ph0(tmplAmazonWrongHostname)}},
+		},
+		Destinations: echoPlusDests,
+		ActiveFrom:   StudyStart, ActiveTo: StudyEnd,
+		Plan: &RootPlan{CommonIncluded: 103, CommonConclusive: 105, DeprecatedIncluded: 13, DeprecatedConclusive: 72},
+	})
+
+	echoDotDests := cat(
+		dn("avs-dot%d.amazon.com", 7, 0, true, 8000, SrvModern12, true),
+		[]Destination{
+			d("ntp-dot.amazon.com", 1, true, 1200, SrvModern12, true),
+			d("todo-dot-g7g.amazon.com", 2, true, 2500, SrvModern12, true), // vulnerable
+		},
+	)
+	devices = append(devices, &Device{
+		ID: "amazon-echo-dot", UnitsSoldMillions: 40, Name: "Amazon Echo Dot", Category: CatAudio,
+		RebootSuitable: true,
+		SensitiveToken: "Bearer atna|echo-dot-52e",
+		Slots: []*Slot{
+			{Label: "avs", Phases: []Phase{ph0(tmplAmazon)},
+				Fallback: &Fallback{OnIncomplete: true, Template: tmplAmazonSSL3Fallback}},
+			{Label: "ntp", Phases: []Phase{ph0(tmplAmazonNoStaple)}},
+			{Label: "todo", Phases: []Phase{ph0(tmplAmazonWrongHostname)}},
+		},
+		Destinations: echoDotDests,
+		ActiveFrom:   StudyStart, ActiveTo: StudyEnd,
+		Plan: &RootPlan{CommonIncluded: 117, CommonConclusive: 119, DeprecatedIncluded: 14, DeprecatedConclusive: 72},
+	})
+
+	devices = append(devices, &Device{
+		ID: "amazon-echo-dot-3", UnitsSoldMillions: 15, Name: "Amazon Echo Dot 3", Category: CatAudio,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplMbedTLS)}}},
+		Destinations: cat(
+			dn("avs-dot3-%d.amazon.com", 4, 0, true, 9000, SrvModern12, true),
+		),
+		ActiveFrom: mon(2018, 11), ActiveTo: StudyEnd, // launched late 2018
+		Plan: &RootPlan{CommonIncluded: 86, CommonConclusive: 96, DeprecatedIncluded: 17, DeprecatedConclusive: 72},
+	})
+
+	echoSpotDests := cat(
+		dn("avs-spot%02d.amazon.com", 11, 0, true, 4000, SrvModern12, true),
+		dn("spot-cdn%d.amazon.com", 4, 1, true, 3000, SrvModernPFS, true),
+		[]Destination{
+			d("spot-meta.amazon.com", 2, false, 1000, SrvModern12, true), // vulnerable
+			d("spot-music.amazon.com", 1, false, 5000, SrvModernPFS, true),
+		},
+	)
+	devices = append(devices, &Device{
+		ID: "amazon-echo-spot", UnitsSoldMillions: 3, Name: "Amazon Echo Spot", Category: CatAudio,
+		RebootSuitable: true,
+		SensitiveToken: "Bearer atna|echo-spot-90d",
+		Slots: []*Slot{
+			{Label: "avs", Phases: []Phase{ph0(tmplAndroidJSSE)},
+				Fallback: &Fallback{OnIncomplete: true, Template: tmplAmazonSSL3Fallback}},
+			{Label: "cdn", Phases: []Phase{ph0(tmplAmazon)}},
+			{Label: "meta", Phases: []Phase{ph0(tmplAmazonWrongHostname)}},
+		},
+		Destinations: echoSpotDests,
+		ActiveFrom:   StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "harman-invoke", UnitsSoldMillions: 0.2, Name: "Harman Invoke", Category: CatAudio,
+		RebootSuitable: true,
+		Slots: []*Slot{
+			{Label: "main", Phases: []Phase{ph0(tmplOpenSSLOld12Staple)}},
+			{Label: "cortana", Phases: []Phase{ph0(tmplMicrosoftSDK)}},
+		},
+		Destinations: []Destination{
+			d("invoke.harman.com", 0, true, 5000, SrvRSAOnly, true),
+			d("cortana.api.microsoft.com", 1, true, 7000, SrvModernPFS, false),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+		Plan: &RootPlan{CommonIncluded: 67, CommonConclusive: 82, DeprecatedIncluded: 41, DeprecatedConclusive: 70},
+	})
+
+	homePodDests := cat(
+		dn("homepod-gs%d.apple.com", 7, 0, true, 6000, SrvModern12, true),
+		dn("homepod-cdn%d.apple.com", 2, 1, true, 4000, SrvModern12, true),
+	)
+	devices = append(devices, &Device{
+		ID: "apple-homepod", UnitsSoldMillions: 4, Name: "Apple HomePod", Category: CatAudio,
+		RebootSuitable: true,
+		Slots: []*Slot{
+			{Label: "system", Phases: []Phase{
+				ph0(tmplAppleLegacy),
+				ph(2019, 9, tmplHomePod13),    // Figure 1: advertises 1.3
+				ph(2020, 1, tmplHomePodPFS13), // Figure 3: PFS 1/2020
+			}, Fallback: &Fallback{OnIncomplete: true, Template: tmplAppleTLS10Fallback}},
+			{Label: "cdn", Phases: []Phase{ph0(tmplAppleLegacy), ph(2019, 9, tmplAppleLegacy12)}},
+		},
+		Destinations: homePodDests,
+		ActiveFrom:   mon(2018, 3), ActiveTo: StudyEnd,
+	})
+
+	// ---------------- Appliances (7) ----------------
+
+	devices = append(devices, &Device{
+		ID: "ge-microwave", UnitsSoldMillions: 0.5, Name: "GE Microwave", Category: CatAppliance,
+		RebootSuitable: false,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplGnuTLSModernWeak)}}},
+		Destinations: []Destination{
+			d("iot.geappliances.com", 0, true, 900, SrvModern12, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "samsung-washer", UnitsSoldMillions: 2, Name: "Samsung Washer", Category: CatAppliance,
+		PassiveOnly: true, RebootSuitable: false,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{ph0(tmplSamsungAppliance)}}},
+		Destinations: []Destination{
+			d("washer.samsungiot.com", 0, true, 1200, SrvLegacy11, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: mon(2019, 2),
+	})
+
+	devices = append(devices, &Device{
+		ID: "samsung-dryer", UnitsSoldMillions: 2, Name: "Samsung Dryer", Category: CatAppliance,
+		RebootSuitable: false,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplSamsungAppliance)}}},
+		Destinations: []Destination{
+			d("dryer.samsungiot.com", 0, true, 1100, SrvLegacy11, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "samsung-fridge", UnitsSoldMillions: 2, Name: "Samsung Fridge", Category: CatAppliance,
+		RebootSuitable: false,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplSamsungApplianceStaple)}}},
+		Destinations: []Destination{
+			d("fridge.samsungiot.com", 0, true, 2000, SrvLegacy11, true),
+			d("recipes.samsungiot.com", 0, false, 800, SrvLegacy11, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		// Named "Smarter Brewer" in Tables 6/7 of the paper; Table 1
+		// lists the Smarter iKettle. We use the Table 1 identity.
+		ID: "smarter-ikettle", UnitsSoldMillions: 0.1, Name: "Smarter iKettle", Category: CatAppliance,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplNoValidationKettle)}}},
+		Destinations: []Destination{
+			d("api.smarter.am", 0, true, 700, SrvRSAOnly, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "behmor-brewer", UnitsSoldMillions: 0.1, Name: "Behmor Brewer", Category: CatAppliance,
+		RebootSuitable: true,
+		Slots:          []*Slot{{Label: "main", Phases: []Phase{ph0(tmplGnuTLSModernWeak)}}},
+		Destinations: []Destination{
+			d("api.behmor.com", 0, true, 600, SrvModern12, true),
+			{Host: "recipes.behmor.com", Slot: 0, Boot: true, AfterLogin: true, MonthlyConns: 200, Server: SrvModern12, FirstParty: true},
+		},
+		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+	})
+
+	devices = append(devices, &Device{
+		ID: "lg-dishwasher", UnitsSoldMillions: 1, Name: "LG Dishwasher", Category: CatAppliance,
+		PassiveOnly: true, RebootSuitable: false,
+		Slots: []*Slot{{Label: "main", Phases: []Phase{ph0(tmplLGAppliance)}}},
+		Destinations: []Destination{
+			d("dishwasher.lgthinq.com", 0, true, 1000, SrvLegacy10, true),
+		},
+		ActiveFrom: StudyStart, ActiveTo: mon(2018, 12),
+	})
+
+	return devices
+}

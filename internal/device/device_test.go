@@ -1,0 +1,621 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/tlssim"
+)
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	clk := clock.NewSimulated(time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC))
+	return NewRegistry(clk)
+}
+
+func TestTable1Inventory(t *testing.T) {
+	r := newTestRegistry(t)
+	if len(r.Devices) != 40 {
+		t.Fatalf("devices = %d, want 40", len(r.Devices))
+	}
+	// Category sizes from Table 1.
+	wantPerCat := map[Category]int{
+		CatCamera: 7, CatHub: 7, CatAutomation: 7, CatTV: 5, CatAudio: 7, CatAppliance: 7,
+	}
+	got := map[Category]int{}
+	passiveOnly := 0
+	ids := map[string]bool{}
+	for _, d := range r.Devices {
+		got[d.Category]++
+		if d.PassiveOnly {
+			passiveOnly++
+		}
+		if ids[d.ID] {
+			t.Errorf("duplicate device ID %q", d.ID)
+		}
+		ids[d.ID] = true
+	}
+	for c, want := range wantPerCat {
+		if got[c] != want {
+			t.Errorf("%s = %d devices, want %d", c, got[c], want)
+		}
+	}
+	if passiveOnly != 8 {
+		t.Errorf("passive-only devices = %d, want 8", passiveOnly)
+	}
+	if n := len(r.ActiveDevices()); n != 32 {
+		t.Errorf("active devices = %d, want 32", n)
+	}
+}
+
+func TestEveryDeviceWellFormed(t *testing.T) {
+	r := newTestRegistry(t)
+	for _, d := range r.Devices {
+		if len(d.Slots) == 0 {
+			t.Errorf("%s: no slots", d.ID)
+		}
+		if len(d.Destinations) == 0 {
+			t.Errorf("%s: no destinations", d.ID)
+		}
+		if d.Roots == nil || d.Roots.Len() == 0 {
+			t.Errorf("%s: empty root store", d.ID)
+		}
+		for _, dst := range d.Destinations {
+			if dst.Slot < 0 || dst.Slot >= len(d.Slots) {
+				t.Errorf("%s: destination %s references slot %d of %d", d.ID, dst.Host, dst.Slot, len(d.Slots))
+			}
+			if dst.MonthlyConns <= 0 {
+				t.Errorf("%s: destination %s has no volume", d.ID, dst.Host)
+			}
+		}
+		if d.ActiveTo.Before(d.ActiveFrom) {
+			t.Errorf("%s: active window inverted", d.ID)
+		}
+		for i := range d.Slots {
+			if cfg := d.ConfigAt(i, ActiveSnapshot); cfg == nil || cfg.Library == nil {
+				t.Errorf("%s slot %d: no config at snapshot", d.ID, i)
+			}
+		}
+		// Every active device must have at least one boot destination
+		// (all 32 devices generated TLS connections on reboot, §4.1).
+		if !d.PassiveOnly && len(d.BootDestinations()) == 0 {
+			t.Errorf("%s: active device without boot destinations", d.ID)
+		}
+	}
+}
+
+func TestTable5DowngradeBehaviours(t *testing.T) {
+	r := newTestRegistry(t)
+	// device -> (downgraded dests, total boot dests, onFailed, onIncomplete)
+	want := map[string]struct {
+		down, total        int
+		onFailed, onIncomp bool
+	}{
+		"amazon-echo-dot":  {7, 9, false, true},
+		"amazon-echo-plus": {6, 7, false, true},
+		"amazon-echo-spot": {11, 15, false, true},
+		"amazon-fire-tv":   {13, 21, false, true},
+		"apple-homepod":    {7, 9, false, true},
+		"google-home-mini": {5, 5, false, true},
+		"roku-tv":          {8, 15, true, true},
+	}
+	for id, w := range want {
+		d, ok := r.Get(id)
+		if !ok {
+			t.Fatalf("missing device %s", id)
+		}
+		boot := d.BootDestinations()
+		if len(boot) != w.total {
+			t.Errorf("%s: boot destinations = %d, want %d", id, len(boot), w.total)
+		}
+		down := 0
+		var fb *Fallback
+		for _, dst := range boot {
+			if f := d.Slots[dst.Slot].Fallback; f != nil {
+				down++
+				fb = f
+			}
+		}
+		if down != w.down {
+			t.Errorf("%s: fallback-capable boot dests = %d, want %d", id, down, w.down)
+		}
+		if fb == nil || fb.OnIncomplete != w.onIncomp || fb.OnFailed != w.onFailed {
+			t.Errorf("%s: fallback triggers = %+v, want failed=%v incomplete=%v", id, fb, w.onFailed, w.onIncomp)
+		}
+	}
+	// Devices not in Table 5 must have no fallback.
+	for _, d := range r.Devices {
+		if _, listed := want[d.ID]; listed {
+			continue
+		}
+		for _, s := range d.Slots {
+			if s.Fallback != nil {
+				t.Errorf("%s: unexpected fallback on slot %s", d.ID, s.Label)
+			}
+		}
+	}
+}
+
+func TestTable5FallbackConfigs(t *testing.T) {
+	r := newTestRegistry(t)
+	// Amazon family falls to SSL 3.0.
+	for _, id := range []string{"amazon-echo-dot", "amazon-echo-plus", "amazon-echo-spot", "amazon-fire-tv"} {
+		d, _ := r.Get(id)
+		fb := d.FallbackConfigAt(0)
+		if fb == nil || fb.MaxVersion != ciphers.SSL30 {
+			t.Errorf("%s: fallback max version = %v, want SSL 3.0", id, fbVersion(fb))
+		}
+	}
+	// HomePod falls to TLS 1.0.
+	hp, _ := r.Get("apple-homepod")
+	if fb := hp.FallbackConfigAt(0); fb == nil || fb.MaxVersion != ciphers.TLS10 {
+		t.Errorf("homepod fallback = %v, want TLS 1.0", fbVersion(hp.FallbackConfigAt(0)))
+	}
+	// Home Mini falls to 3DES + SHA-1.
+	mini, _ := r.Get("google-home-mini")
+	fb := mini.FallbackConfigAt(0)
+	if fb == nil || len(fb.CipherSuites) != 1 || fb.CipherSuites[0] != ciphers.TLS_RSA_WITH_3DES_EDE_CBC_SHA {
+		t.Errorf("home mini fallback suites = %v", fb.CipherSuites)
+	}
+	hasSHA1 := false
+	for _, a := range fb.SignatureAlgorithms {
+		if a == ciphers.RSA_PKCS1_SHA1 {
+			hasSHA1 = true
+		}
+	}
+	if !hasSHA1 {
+		t.Error("home mini fallback missing RSA_PKCS1_SHA1")
+	}
+	// Roku falls to a single RC4 suite.
+	roku, _ := r.Get("roku-tv")
+	rfb := roku.FallbackConfigAt(0)
+	if rfb == nil || len(rfb.CipherSuites) != 1 || rfb.CipherSuites[0] != ciphers.TLS_RSA_WITH_RC4_128_SHA {
+		t.Errorf("roku fallback suites = %v", rfb.CipherSuites)
+	}
+	// Roku's main instance advertises a very large suite list ("73").
+	main := roku.ConfigAt(0, ActiveSnapshot)
+	if len(main.CipherSuites) < 25 {
+		t.Errorf("roku main suite list = %d, want a large list", len(main.CipherSuites))
+	}
+}
+
+func TestTable6OldVersionSupport(t *testing.T) {
+	r := newTestRegistry(t)
+	// Device -> supports TLS 1.0, supports TLS 1.1 (Table 6, at the
+	// 2021 active snapshot).
+	want := map[string][2]bool{
+		"zmodo-doorbell":    {true, true},
+		"wink-hub-2":        {true, true},
+		"yi-camera":         {true, true},
+		"philips-hub":       {true, true},
+		"smarter-ikettle":   {true, true},
+		"tplink-bulb":       {true, true},
+		"roku-tv":           {true, true},
+		"meross-dooropener": {true, true},
+		"lg-tv":             {true, true},
+		"google-home-mini":  {true, true},
+		"amazon-fire-tv":    {true, true},
+		"amazon-echo-spot":  {true, true},
+		"amazon-echo-plus":  {true, true},
+		"amazon-echo-dot":   {true, true},
+		"amcrest-camera":    {true, true},
+		"samsung-fridge":    {false, true},
+		"samsung-dryer":     {false, true},
+		"wemo-plug":         {true, false},
+	}
+	for _, dev := range r.ActiveDevices() {
+		w, listed := want[dev.ID]
+		got10, got11 := supportsVersion(dev, ciphers.TLS10), supportsVersion(dev, ciphers.TLS11)
+		if listed {
+			if got10 != w[0] || got11 != w[1] {
+				t.Errorf("%s: supports(1.0,1.1) = (%v,%v), want (%v,%v)", dev.ID, got10, got11, w[0], w[1])
+			}
+		} else if got10 || got11 {
+			t.Errorf("%s: unexpectedly supports old versions (1.0=%v, 1.1=%v)", dev.ID, got10, got11)
+		}
+	}
+}
+
+// supportsVersion reports whether any instance can negotiate v at the
+// active snapshot.
+func supportsVersion(d *Device, v ciphers.Version) bool {
+	for i := range d.Slots {
+		cfg := d.ConfigAt(i, ActiveSnapshot)
+		if cfg.MinVersion <= v && v <= cfg.MaxVersion {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTable7ValidationGroundTruth(t *testing.T) {
+	r := newTestRegistry(t)
+	// Fully vulnerable devices: at least one no-validation instance.
+	fullyVulnerable := map[string]int{ // device -> vulnerable/total dests
+		"zmodo-doorbell":  6,
+		"amcrest-camera":  2,
+		"smarter-ikettle": 1,
+		"yi-camera":       1,
+		"wink-hub-2":      1,
+		"lg-tv":           1,
+		"smartthings-hub": 1,
+	}
+	wrongHostname := map[string]bool{
+		"amazon-echo-plus": true, "amazon-echo-dot": true,
+		"amazon-echo-spot": true, "amazon-fire-tv": true,
+	}
+	for _, dev := range r.ActiveDevices() {
+		noval, nohost := 0, 0
+		for _, dst := range dev.Destinations {
+			switch dev.ConfigAt(dst.Slot, ActiveSnapshot).Validation {
+			case tlssim.ValidateNone:
+				noval++
+			case tlssim.ValidateNoHostname:
+				nohost++
+			}
+		}
+		// The Yi camera's give-up behaviour makes it effectively
+		// no-validation under repeated attack.
+		if dev.ID == "yi-camera" {
+			if dev.ConfigAt(0, ActiveSnapshot).DisableValidationAfter != 3 {
+				t.Errorf("yi-camera: give-up threshold = %d, want 3", dev.ConfigAt(0, ActiveSnapshot).DisableValidationAfter)
+			}
+			noval++
+		}
+		if want, ok := fullyVulnerable[dev.ID]; ok {
+			if noval != want {
+				t.Errorf("%s: no-validation destinations = %d, want %d", dev.ID, noval, want)
+			}
+		} else if noval > 0 {
+			t.Errorf("%s: unexpected no-validation destinations (%d)", dev.ID, noval)
+		}
+		if wrongHostname[dev.ID] {
+			if nohost != 1 {
+				t.Errorf("%s: wrong-hostname destinations = %d, want 1", dev.ID, nohost)
+			}
+		} else if nohost > 0 {
+			t.Errorf("%s: unexpected wrong-hostname destinations (%d)", dev.ID, nohost)
+		}
+	}
+}
+
+func TestTable8RevocationGroundTruth(t *testing.T) {
+	r := newTestRegistry(t)
+	wantCRL := map[string]bool{"samsung-tv": true}
+	wantOCSP := map[string]bool{"samsung-tv": true, "apple-tv": true, "apple-homepod": true}
+	wantStaple := map[string]bool{
+		"amazon-fire-tv": true, "samsung-tv": true, "amazon-echo-spot": true,
+		"apple-homepod": true, "apple-tv": true, "harman-invoke": true,
+		"amazon-echo-dot": true, "wink-hub-2": true, "google-home-mini": true,
+		"lg-tv": true, "samsung-fridge": true, "smartthings-hub": true,
+	}
+	for _, dev := range r.Devices {
+		var crl, ocsp, staple bool
+		for i := range dev.Slots {
+			rev := dev.ConfigAt(i, ActiveSnapshot).Revocation
+			crl = crl || rev.CheckCRL
+			ocsp = ocsp || rev.CheckOCSP
+			staple = staple || rev.RequestStaple
+		}
+		if crl != wantCRL[dev.ID] {
+			t.Errorf("%s: CRL = %v, want %v", dev.ID, crl, wantCRL[dev.ID])
+		}
+		if ocsp != wantOCSP[dev.ID] {
+			t.Errorf("%s: OCSP = %v, want %v", dev.ID, ocsp, wantOCSP[dev.ID])
+		}
+		if staple != wantStaple[dev.ID] {
+			t.Errorf("%s: stapling = %v, want %v", dev.ID, staple, wantStaple[dev.ID])
+		}
+	}
+	if len(wantStaple) != 12 {
+		t.Fatalf("stapling ground truth covers %d devices, want 12 (Table 8)", len(wantStaple))
+	}
+}
+
+func TestTable9PlansAndRootStores(t *testing.T) {
+	r := newTestRegistry(t)
+	plans := map[string]RootPlan{
+		"google-home-mini":  {119, 119, 4, 71},
+		"amazon-echo-plus":  {103, 105, 13, 72},
+		"amazon-echo-dot":   {117, 119, 14, 72},
+		"amazon-echo-dot-3": {86, 96, 17, 72},
+		"wink-hub-2":        {109, 119, 27, 72},
+		"roku-tv":           {96, 106, 33, 81},
+		"lg-tv":             {96, 103, 48, 82},
+		"harman-invoke":     {67, 82, 41, 70},
+	}
+	for id, want := range plans {
+		dev, ok := r.Get(id)
+		if !ok || dev.Plan == nil {
+			t.Fatalf("%s: missing plan", id)
+		}
+		if *dev.Plan != want {
+			t.Errorf("%s: plan = %+v, want %+v", id, *dev.Plan, want)
+		}
+		// The store size equals included common + included deprecated.
+		if got := dev.Roots.Len(); got != want.CommonIncluded+want.DeprecatedIncluded {
+			t.Errorf("%s: store size = %d, want %d", id, got, want.CommonIncluded+want.DeprecatedIncluded)
+		}
+		// Every probed device trusts at least one distrusted CA (§5.2).
+		hasDistrusted := false
+		for _, ca := range r.Universe.DistrustedCAs() {
+			if dev.Roots.Contains(ca.Cert()) {
+				hasDistrusted = true
+			}
+		}
+		if !hasDistrusted {
+			t.Errorf("%s: no distrusted CA in store", id)
+		}
+		// Probed devices must use an amenable library on slot 0.
+		if lib := dev.ConfigAt(0, ActiveSnapshot).Library; !lib.Amenable() {
+			t.Errorf("%s: probe slot library %s not amenable", id, lib.Name)
+		}
+	}
+	if len(plans) != 8 {
+		t.Fatalf("plans cover %d devices, want 8", len(plans))
+	}
+}
+
+func TestProbeCandidatesMatchPaper(t *testing.T) {
+	r := newTestRegistry(t)
+	cands := r.ProbeCandidates()
+	if len(cands) != 24 {
+		var ids []string
+		for _, d := range cands {
+			ids = append(ids, d.ID)
+		}
+		t.Fatalf("probe candidates = %d, want 24 (§5.2): %v", len(cands), ids)
+	}
+	amenable := 0
+	for _, d := range cands {
+		if d.ConfigAt(0, ActiveSnapshot).Library.Amenable() && d.Plan != nil {
+			amenable++
+		}
+	}
+	if amenable != 8 {
+		t.Fatalf("amenable candidates = %d, want 8 (Table 9)", amenable)
+	}
+	// Amenable-but-unplanned candidates would silently break Table 9.
+	for _, d := range cands {
+		if d.ConfigAt(0, ActiveSnapshot).Library.Amenable() && d.Plan == nil {
+			t.Errorf("%s: amenable probe candidate without a Table 9 plan", d.ID)
+		}
+	}
+}
+
+func TestProbeConclusiveCounts(t *testing.T) {
+	r := newTestRegistry(t)
+	u := r.Universe
+	common := u.CommonCertificates(probeReferenceTime)
+	dep := u.DeprecatedCertificates(probeReferenceTime)
+	for _, id := range []string{"google-home-mini", "lg-tv", "harman-invoke"} {
+		dev, _ := r.Get(id)
+		nc, nd := 0, 0
+		for _, c := range common {
+			if dev.ProbeConclusive(c) {
+				nc++
+			}
+		}
+		for _, c := range dep {
+			if dev.ProbeConclusive(c) {
+				nd++
+			}
+		}
+		if nc != dev.Plan.CommonConclusive {
+			t.Errorf("%s: conclusive common = %d, want %d", id, nc, dev.Plan.CommonConclusive)
+		}
+		if nd != dev.Plan.DeprecatedConclusive {
+			t.Errorf("%s: conclusive deprecated = %d, want %d", id, nd, dev.Plan.DeprecatedConclusive)
+		}
+	}
+	// Devices without a plan always respond.
+	nest, _ := r.Get("nest-thermostat")
+	if !nest.ProbeConclusive(common[0]) {
+		t.Error("plan-less device should always be conclusive")
+	}
+}
+
+func TestIncludedCountsWithinConclusive(t *testing.T) {
+	// The Table 9 numerators: |store ∩ conclusive ∩ testset| must equal
+	// the plan's included counts exactly.
+	r := newTestRegistry(t)
+	u := r.Universe
+	common := u.CommonCertificates(probeReferenceTime)
+	dep := u.DeprecatedCertificates(probeReferenceTime)
+	for _, dev := range r.Devices {
+		if dev.Plan == nil {
+			continue
+		}
+		nc, nd := 0, 0
+		for _, c := range common {
+			if dev.ProbeConclusive(c) && dev.Roots.Contains(c) {
+				nc++
+			}
+		}
+		for _, c := range dep {
+			if dev.ProbeConclusive(c) && dev.Roots.Contains(c) {
+				nd++
+			}
+		}
+		if nc != dev.Plan.CommonIncluded {
+			t.Errorf("%s: conclusive∩included common = %d, want %d", dev.ID, nc, dev.Plan.CommonIncluded)
+		}
+		if nd != dev.Plan.DeprecatedIncluded {
+			t.Errorf("%s: conclusive∩included deprecated = %d, want %d", dev.ID, nd, dev.Plan.DeprecatedIncluded)
+		}
+	}
+}
+
+func TestOperationalCAsTrustedEverywhere(t *testing.T) {
+	r := newTestRegistry(t)
+	ops := OperationalCAs(r.Universe)
+	if len(ops) != 6 {
+		t.Fatalf("operational CAs = %d", len(ops))
+	}
+	for _, dev := range r.Devices {
+		for _, ca := range ops {
+			if !dev.Roots.Contains(ca.Cert()) {
+				t.Errorf("%s does not trust operational CA %s", dev.ID, ca.Cert().Subject.CommonName)
+			}
+		}
+	}
+}
+
+func TestPhaseTransitions(t *testing.T) {
+	r := newTestRegistry(t)
+	// Apple TV: TLS 1.3 from 5/2019 (Figure 1).
+	atv, _ := r.Get("apple-tv")
+	if got := atv.ConfigAt(0, mon(2019, 4)).MaxVersion; got != ciphers.TLS12 {
+		t.Errorf("apple-tv 2019-04 max = %v, want 1.2", got)
+	}
+	if got := atv.ConfigAt(0, mon(2019, 5)).MaxVersion; got != ciphers.TLS13 {
+		t.Errorf("apple-tv 2019-05 max = %v, want 1.3", got)
+	}
+	// Apple TV: weak suites added 10/2018 (Figure 2).
+	if ciphers.AnyInsecure(atv.ConfigAt(0, mon(2018, 9)).CipherSuites) {
+		t.Error("apple-tv advertised insecure suites before 10/2018")
+	}
+	if !ciphers.AnyInsecure(atv.ConfigAt(0, mon(2018, 10)).CipherSuites) {
+		t.Error("apple-tv did not add insecure suites 10/2018")
+	}
+	// Google Home Mini: TLS 1.3 from 5/2019.
+	mini, _ := r.Get("google-home-mini")
+	if got := mini.ConfigAt(0, mon(2019, 5)).MaxVersion; got != ciphers.TLS13 {
+		t.Errorf("home-mini 2019-05 max = %v, want 1.3", got)
+	}
+	// Blink Hub: TLS 1.2 from 7/2018 (Figure 1), clean suites 5/2019
+	// (Figure 2), PFS 10/2019 (Figure 3).
+	bh, _ := r.Get("blink-hub")
+	if got := bh.ConfigAt(0, mon(2018, 6)).MaxVersion; got != ciphers.TLS11 {
+		t.Errorf("blink-hub 2018-06 max = %v, want 1.1", got)
+	}
+	if got := bh.ConfigAt(0, mon(2018, 7)).MaxVersion; got != ciphers.TLS12 {
+		t.Errorf("blink-hub 2018-07 max = %v, want 1.2", got)
+	}
+	if !ciphers.AnyInsecure(bh.ConfigAt(0, mon(2019, 4)).CipherSuites) {
+		t.Error("blink-hub should advertise insecure suites before 5/2019")
+	}
+	if ciphers.AnyInsecure(bh.ConfigAt(0, mon(2019, 5)).CipherSuites) {
+		t.Error("blink-hub should be clean from 5/2019")
+	}
+	if ciphers.AnyStrong(bh.ConfigAt(0, mon(2019, 9)).CipherSuites) {
+		t.Error("blink-hub should lack PFS before 10/2019")
+	}
+	if !ciphers.AnyStrong(bh.ConfigAt(0, mon(2019, 10)).CipherSuites) {
+		t.Error("blink-hub should offer PFS from 10/2019")
+	}
+	// Ring Doorbell: PFS from 4/2018 (Figure 3).
+	ring, _ := r.Get("ring-doorbell")
+	if ciphers.AnyStrong(ring.ConfigAt(0, mon(2018, 3)).CipherSuites) {
+		t.Error("ring should lack PFS before 4/2018")
+	}
+	if !ciphers.AnyStrong(ring.ConfigAt(0, mon(2018, 4)).CipherSuites) {
+		t.Error("ring should offer PFS from 4/2018")
+	}
+	// Insteon Hub: old period 7/2018-8/2019, then 1.2 (Figure 1).
+	ins, _ := r.Get("insteon-hub")
+	if got := ins.ConfigAt(0, mon(2018, 8)).MaxVersion; got != ciphers.TLS10 {
+		t.Errorf("insteon 2018-08 max = %v, want 1.0", got)
+	}
+	if got := ins.ConfigAt(0, mon(2019, 9)).MaxVersion; got != ciphers.TLS12 {
+		t.Errorf("insteon 2019-09 max = %v, want 1.2", got)
+	}
+}
+
+func TestWemoFrozenAtTLS10(t *testing.T) {
+	r := newTestRegistry(t)
+	w, _ := r.Get("wemo-plug")
+	for _, m := range clock.MonthRange(StudyStart, StudyEnd) {
+		if got := w.ConfigAt(0, m).MaxVersion; got != ciphers.TLS10 {
+			t.Fatalf("wemo max at %v = %v, want TLS 1.0 always", m, got)
+		}
+	}
+}
+
+func TestCleanDevicesNeverAdvertiseInsecure(t *testing.T) {
+	// The six Figure 2 exclusions.
+	r := newTestRegistry(t)
+	clean := []string{"google-home-mini", "nest-thermostat", "blink-camera",
+		"amazon-cloudcam", "sengled-hub", "switchbot-hub"}
+	for _, id := range clean {
+		d, _ := r.Get(id)
+		for _, m := range clock.MonthRange(StudyStart, StudyEnd) {
+			for i := range d.Slots {
+				if ciphers.AnyInsecure(d.ConfigAt(i, m).CipherSuites) {
+					t.Errorf("%s advertises insecure suites in %v", id, m)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiInstanceDeviceCount(t *testing.T) {
+	// §5.3: 14/32 active devices show multiple fingerprints. Our ground
+	// truth: count active devices with >1 slot dialing at boot.
+	r := newTestRegistry(t)
+	multi := 0
+	for _, d := range r.ActiveDevices() {
+		slots := map[int]bool{}
+		for _, dst := range d.BootDestinations() {
+			slots[dst.Slot] = true
+		}
+		if len(slots) > 1 {
+			multi++
+		}
+	}
+	if multi < 8 || multi > 14 {
+		t.Errorf("multi-instance active devices = %d, want in [8, 14] (paper: 14)", multi)
+	}
+}
+
+func TestRegistryDeterministic(t *testing.T) {
+	clk := clock.NewSimulated(time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC))
+	a := NewRegistry(clk)
+	b := NewRegistry(clk)
+	for i := range a.Devices {
+		da, db := a.Devices[i], b.Devices[i]
+		if da.ID != db.ID || da.Roots.Len() != db.Roots.Len() {
+			t.Fatalf("registries differ at %d: %s/%d vs %s/%d", i, da.ID, da.Roots.Len(), db.ID, db.Roots.Len())
+		}
+		for _, c := range da.Roots.All() {
+			if !db.Roots.Contains(c) {
+				t.Fatalf("%s: store contents differ", da.ID)
+			}
+		}
+	}
+}
+
+func TestGetAndProbeDestination(t *testing.T) {
+	r := newTestRegistry(t)
+	if _, ok := r.Get("nonexistent"); ok {
+		t.Error("Get found nonexistent device")
+	}
+	d, _ := r.Get("google-home-mini")
+	dst, ok := d.ProbeDestination()
+	if !ok || dst.Slot != 0 || !dst.Boot {
+		t.Fatalf("probe destination = %+v, %v", dst, ok)
+	}
+}
+
+func fbVersion(c *tlssim.ClientConfig) interface{} {
+	if c == nil {
+		return nil
+	}
+	return c.MaxVersion
+}
+
+func TestUnitsSoldCollectively(t *testing.T) {
+	// Abstract: the tested devices represent over 200 million units
+	// sold collectively.
+	r := newTestRegistry(t)
+	if total := r.TotalUnitsSoldMillions(); total < 200 {
+		t.Fatalf("total units sold = %.1fM, want > 200M", total)
+	}
+	for _, d := range r.Devices {
+		if d.UnitsSoldMillions <= 0 {
+			t.Errorf("%s has no install-base estimate", d.ID)
+		}
+	}
+}

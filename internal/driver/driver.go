@@ -1,0 +1,147 @@
+// Package driver runs the client side of the testbed: it makes devices
+// dial their destinations through the simulated network, applying each
+// device's instance configuration for the current month and its
+// downgrade-on-failure behaviour (Table 5). The mitm, probe and traffic
+// packages all trigger device activity through this runtime, mirroring
+// the paper's use of smart plugs to reboot devices into generating TLS
+// traffic (§4.1).
+package driver
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/device"
+	"repro/internal/netem"
+	"repro/internal/tlssim"
+)
+
+// Outcome describes one connection attempt (including any fallback
+// retry) from the device's perspective.
+type Outcome struct {
+	Device string
+	Host   string
+	Port   int
+	Month  clock.Month
+
+	// Established reports overall success (primary or fallback).
+	Established bool
+	// Version and Suite are the negotiated parameters on success.
+	Version ciphers.Version
+	Suite   ciphers.Suite
+	// Err is the final failure, nil on success.
+	Err error
+	// UsedFallback reports that the downgraded configuration was tried.
+	UsedFallback bool
+	// FallbackEstablished reports the downgraded attempt succeeded.
+	FallbackEstablished bool
+	// ValidationBypassed mirrors the session flag.
+	ValidationBypassed bool
+	// Reply is the application-layer response received, if any.
+	Reply string
+}
+
+// Connect dials one destination as dev would in month m, honouring
+// fallback behaviour. seq seeds the hello randoms.
+func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m clock.Month, seq uint64) Outcome {
+	out := Outcome{Device: dev.ID, Host: dst.Host, Port: 443, Month: m}
+
+	cfg := dev.ConfigAt(dst.Slot, m)
+	cfg.AuxDialer = nw.Dial
+	cfg.SrcHost = dev.ID
+
+	sess, err := dialAndHandshake(nw, dev, dst, cfg, seq)
+	if err == nil {
+		finish(&out, sess, dev, dst)
+		return out
+	}
+	out.Err = err
+
+	// Downgrade-on-failure: retry once with the fallback instance when
+	// the failure class matches the trigger.
+	fb := dev.Slots[dst.Slot].Fallback
+	fbCfg := dev.FallbackConfigAt(dst.Slot)
+	if fb == nil || fbCfg == nil || !shouldFallback(fb, err) {
+		return out
+	}
+	out.UsedFallback = true
+	fbCfg.AuxDialer = nw.Dial
+	fbCfg.SrcHost = dev.ID
+	sess, err = dialAndHandshake(nw, dev, dst, fbCfg, seq+1)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.FallbackEstablished = true
+	out.Err = nil
+	finish(&out, sess, dev, dst)
+	return out
+}
+
+// Boot power-cycles the device: resets per-instance state and dials
+// every boot destination once, as the paper's smart-plug reboots do.
+// When the first boot connection succeeds, the device proceeds to its
+// post-login destinations — the behaviour behind the paper's
+// TrafficPassthrough finding (§4.2: ≈20.4% additional hostnames once
+// previously-intercepted connections are allowed through).
+func Boot(nw *netem.Network, dev *device.Device, m clock.Month, seq uint64) []Outcome {
+	for i := range dev.Slots {
+		dev.ConfigAt(i, m).ResetState()
+	}
+	var outs []Outcome
+	for i, dst := range dev.BootDestinations() {
+		outs = append(outs, Connect(nw, dev, dst, m, seq+uint64(i)*101))
+	}
+	if len(outs) > 0 && outs[0].Established {
+		for i, dst := range dev.AfterLoginDestinations() {
+			outs = append(outs, Connect(nw, dev, dst, m, seq+9000+uint64(i)*101))
+		}
+	}
+	return outs
+}
+
+// dialAndHandshake opens the transport and runs the TLS client.
+func dialAndHandshake(nw *netem.Network, dev *device.Device, dst device.Destination, cfg *tlssim.ClientConfig, seq uint64) (*tlssim.Session, error) {
+	conn, err := nw.Dial(dev.ID, dst.Host, 443)
+	if err != nil {
+		return nil, err
+	}
+	return tlssim.Client(conn, cfg, dst.Host, seq)
+}
+
+// finish exchanges application data over the established session.
+func finish(out *Outcome, sess *tlssim.Session, dev *device.Device, dst device.Destination) {
+	out.Established = true
+	out.Version = sess.Version
+	out.Suite = sess.Suite
+	out.ValidationBypassed = sess.ValidationBypassed
+	defer sess.Close()
+	if _, err := io.WriteString(sess.Conn, dev.Payload(dst.Host)); err != nil {
+		return
+	}
+	sess.Conn.Conn.SetDeadline(time.Now().Add(250 * time.Millisecond))
+	buf := make([]byte, 256)
+	n, err := sess.Conn.Read(buf)
+	if err == nil {
+		out.Reply = string(buf[:n])
+	}
+}
+
+// shouldFallback matches a failure against the fallback triggers.
+func shouldFallback(fb *device.Fallback, err error) bool {
+	var he *tlssim.HandshakeError
+	if !errors.As(err, &he) {
+		return false
+	}
+	switch he.Class {
+	case tlssim.FailIncomplete:
+		return fb.OnIncomplete
+	case tlssim.FailAlertReceived, tlssim.FailCertificate, tlssim.FailPeerClosed:
+		return fb.OnFailed
+	default:
+		return false
+	}
+}

@@ -1,0 +1,60 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ciphers"
+	"repro/internal/device"
+	"repro/internal/netem"
+	"repro/internal/tlssim"
+)
+
+func TestFlakyNetworkTriggersFallbackOrganically(t *testing.T) {
+	// The Table 5 behaviour exists to survive flaky networks — verify
+	// that packet loss alone (no attacker) triggers the Amazon SSL 3.0
+	// retry, exactly the compatibility motive the paper describes.
+	nw, reg, _, _, _ := testbed(t)
+	dev, _ := reg.Get("amazon-echo-plus")
+	dst := dev.BootDestinations()[0] // fallback-capable slot
+
+	nw.SetImpairment(netem.Impairment{DropEveryN: 1}) // every connection dies
+	out := Connect(nw, dev, dst, device.ActiveSnapshot, 1)
+	nw.SetImpairment(netem.Impairment{})
+	if !out.UsedFallback {
+		t.Fatal("incomplete handshake did not trigger the fallback")
+	}
+	// Both the primary and the SSL 3.0 retry were black-holed.
+	if out.Established {
+		t.Fatal("connection established through a dead network")
+	}
+	var he *tlssim.HandshakeError
+	if !errors.As(out.Err, &he) || he.Class != tlssim.FailIncomplete {
+		t.Fatalf("err = %v, want incomplete", out.Err)
+	}
+	if nw.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2 (primary + fallback)", nw.Dropped())
+	}
+}
+
+func TestIntermittentLossRecovers(t *testing.T) {
+	// Drop every second connection: the primary dies, the fallback gets
+	// through — and lands on SSL 3.0 only if the server still accepts
+	// it. Against the modern cloud it does not, so the device retries
+	// and fails; a device without fallback simply fails once.
+	nw, reg, _, _, _ := testbed(t)
+	nest, _ := reg.Get("nest-thermostat")
+	nw.SetImpairment(netem.Impairment{DropEveryN: 2})
+	defer nw.SetImpairment(netem.Impairment{})
+
+	// First connection passes (drop counter hits on the 2nd).
+	out := Connect(nw, nest, nest.Destinations[0], device.ActiveSnapshot, 1)
+	if !out.Established || out.Version != ciphers.TLS12 {
+		t.Fatalf("first connection failed: %+v", out.Err)
+	}
+	// Second is black-holed; nest has no fallback.
+	out = Connect(nw, nest, nest.Destinations[0], device.ActiveSnapshot, 2)
+	if out.Established || out.UsedFallback {
+		t.Fatalf("second connection = %+v, want plain failure", out)
+	}
+}

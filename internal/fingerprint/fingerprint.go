@@ -1,0 +1,327 @@
+// Package fingerprint implements TLS client fingerprinting in the style
+// of Kotzias et al. (the database the paper compares against): a
+// fingerprint is the permutation of protocol features visible in a
+// ClientHello — legacy version, ciphersuite list, extension type order,
+// supported groups, and EC point formats.
+//
+// The package also provides the labelled fingerprint database and the
+// device/application/fingerprint sharing graph behind Figure 5.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ciphers"
+	"repro/internal/wire"
+)
+
+// Fingerprint is a canonical TLS client fingerprint.
+type Fingerprint struct {
+	// Version is the ClientHello legacy version field.
+	Version ciphers.Version
+	// MaxVersion is the highest offered version (includes
+	// supported_versions).
+	MaxVersion ciphers.Version
+	// Suites is the ciphersuite list in wire order.
+	Suites []ciphers.Suite
+	// Extensions is the extension type list in wire order.
+	Extensions []wire.ExtensionType
+	// Groups is the supported_groups list.
+	Groups []uint16
+	// PointFormats is the ec_point_formats list.
+	PointFormats []uint8
+}
+
+// FromClientHello extracts the fingerprint of a ClientHello.
+func FromClientHello(ch *wire.ClientHello) Fingerprint {
+	return Fingerprint{
+		Version:      ch.LegacyVersion,
+		MaxVersion:   ch.MaxVersion(),
+		Suites:       append([]ciphers.Suite(nil), ch.CipherSuites...),
+		Extensions:   ch.ExtensionTypes(),
+		Groups:       ch.SupportedGroups(),
+		PointFormats: ch.ECPointFormats(),
+	}
+}
+
+// String renders the canonical Kotzias-style form:
+// "version,suites,extensions,groups,formats" with dash-separated
+// hex components.
+func (f Fingerprint) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%04x,", uint16(f.Version))
+	writeU16List(&b, suitesToU16(f.Suites))
+	b.WriteByte(',')
+	writeU16List(&b, extsToU16(f.Extensions))
+	b.WriteByte(',')
+	writeU16List(&b, f.Groups)
+	b.WriteByte(',')
+	for i, p := range f.PointFormats {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%02x", p)
+	}
+	return b.String()
+}
+
+// ID returns a short stable identifier (12 hex chars of SHA-256 over the
+// canonical form) used as graph node key.
+func (f Fingerprint) ID() string {
+	sum := sha256.Sum256([]byte(f.String()))
+	return hex.EncodeToString(sum[:6])
+}
+
+// Equal reports whether two fingerprints are identical.
+func (f Fingerprint) Equal(o Fingerprint) bool { return f.String() == o.String() }
+
+// OffersInsecureSuites reports whether the fingerprint advertises any
+// insecure ciphersuite.
+func (f Fingerprint) OffersInsecureSuites() bool { return ciphers.AnyInsecure(f.Suites) }
+
+func suitesToU16(s []ciphers.Suite) []uint16 {
+	out := make([]uint16, len(s))
+	for i, v := range s {
+		out[i] = uint16(v)
+	}
+	return out
+}
+
+func extsToU16(s []wire.ExtensionType) []uint16 {
+	out := make([]uint16, len(s))
+	for i, v := range s {
+		out[i] = uint16(v)
+	}
+	return out
+}
+
+func writeU16List(b *strings.Builder, vs []uint16) {
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(b, "%04x", v)
+	}
+}
+
+// DB is a labelled fingerprint database mapping fingerprints to the
+// applications known to produce them (e.g. "openssl", "android-sdk").
+type DB struct {
+	labels map[string][]string // fingerprint ID -> labels
+	size   int                 // total labelled fingerprints (incl. unmodelled filler)
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{labels: make(map[string][]string)} }
+
+// Add labels a fingerprint with an application name.
+func (db *DB) Add(f Fingerprint, label string) {
+	id := f.ID()
+	for _, l := range db.labels[id] {
+		if l == label {
+			return
+		}
+	}
+	db.labels[id] = append(db.labels[id], label)
+	db.size++
+}
+
+// AddFiller accounts for database entries whose fingerprints are not
+// modelled in the simulation (the real Kotzias database holds 1,684
+// fingerprints; only the ones our devices can match are materialised).
+func (db *DB) AddFiller(n int) {
+	if n > 0 {
+		db.size += n
+	}
+}
+
+// Lookup returns the labels for a fingerprint, or nil.
+func (db *DB) Lookup(f Fingerprint) []string {
+	out := append([]string(nil), db.labels[f.ID()]...)
+	sort.Strings(out)
+	return out
+}
+
+// Size reports the total number of labelled fingerprint entries.
+func (db *DB) Size() int { return db.size }
+
+// NodeKind distinguishes Figure 5's three node types.
+type NodeKind int
+
+const (
+	// NodeDevice is a testbed device.
+	NodeDevice NodeKind = iota
+	// NodeApplication is a labelled application from the database.
+	NodeApplication
+	// NodeFingerprint is a fingerprint shared by the above.
+	NodeFingerprint
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeDevice:
+		return "device"
+	case NodeApplication:
+		return "application"
+	default:
+		return "fingerprint"
+	}
+}
+
+// Edge connects a device or application to a fingerprint.
+type Edge struct {
+	Owner     string
+	OwnerKind NodeKind
+	FP        string // fingerprint ID
+	// Dominant marks the owner's most-used fingerprint (the thick edges
+	// in Figure 5).
+	Dominant bool
+	// FromDB marks edges contributed by the labelled database rather
+	// than observed traffic (the dashed edges in Figure 5).
+	FromDB bool
+}
+
+// Graph is the sharing graph behind Figure 5.
+type Graph struct {
+	observations map[string]map[string]int // owner -> fp ID -> count
+	kinds        map[string]NodeKind
+	db           *DB
+	dbFPs        map[string]Fingerprint // observed fingerprints by ID
+}
+
+// NewGraph builds an empty graph; db may be nil.
+func NewGraph(db *DB) *Graph {
+	return &Graph{
+		observations: make(map[string]map[string]int),
+		kinds:        make(map[string]NodeKind),
+		db:           db,
+		dbFPs:        make(map[string]Fingerprint),
+	}
+}
+
+// Observe records that owner produced fingerprint f once.
+func (g *Graph) Observe(owner string, f Fingerprint) {
+	if g.observations[owner] == nil {
+		g.observations[owner] = make(map[string]int)
+	}
+	g.observations[owner][f.ID()]++
+	g.kinds[owner] = NodeDevice
+	g.dbFPs[f.ID()] = f
+}
+
+// FingerprintsOf returns the distinct fingerprint IDs observed for owner.
+func (g *Graph) FingerprintsOf(owner string) []string {
+	var out []string
+	for id := range g.observations[owner] {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges computes the Figure-5 edge set: an edge appears only when its
+// fingerprint is shared by at least two owners (devices and/or
+// database applications). Database labels contribute dashed edges.
+func (g *Graph) Edges() []Edge {
+	// Count owners per fingerprint, including database applications.
+	owners := make(map[string][]Edge)
+	for owner, fps := range g.observations {
+		// Find the dominant fingerprint for the owner.
+		bestID, bestCount := "", -1
+		var ids []string
+		for id := range fps {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if fps[id] > bestCount {
+				bestID, bestCount = id, fps[id]
+			}
+		}
+		for _, id := range ids {
+			owners[id] = append(owners[id], Edge{
+				Owner:     owner,
+				OwnerKind: NodeDevice,
+				FP:        id,
+				Dominant:  id == bestID,
+			})
+		}
+	}
+	if g.db != nil {
+		for id, fp := range g.dbFPs {
+			for _, label := range g.db.Lookup(fp) {
+				owners[id] = append(owners[id], Edge{
+					Owner:     label,
+					OwnerKind: NodeApplication,
+					FP:        id,
+					FromDB:    true,
+				})
+			}
+		}
+	}
+	var out []Edge
+	var ids []string
+	for id := range owners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		es := owners[id]
+		if len(es) < 2 {
+			continue // not shared: pruned from the figure
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].Owner < es[j].Owner })
+		out = append(out, es...)
+	}
+	return out
+}
+
+// SharedWith returns the other owners sharing at least one fingerprint
+// with owner (devices and database applications).
+func (g *Graph) SharedWith(owner string) []string {
+	mine := make(map[string]bool)
+	for id := range g.observations[owner] {
+		mine[id] = true
+	}
+	peers := make(map[string]bool)
+	for _, e := range g.Edges() {
+		if mine[e.FP] && e.Owner != owner {
+			peers[e.Owner] = true
+		}
+	}
+	var out []string
+	for p := range peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MultiInstanceOwners returns owners that produced more than one
+// distinct fingerprint — the paper's signal for multiple TLS instances
+// on one device (14/32 devices).
+func (g *Graph) MultiInstanceOwners() []string {
+	var out []string
+	for owner, fps := range g.observations {
+		if len(fps) > 1 {
+			out = append(out, owner)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owners returns every observed owner name.
+func (g *Graph) Owners() []string {
+	var out []string
+	for o := range g.observations {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

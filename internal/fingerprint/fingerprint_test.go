@@ -1,0 +1,233 @@
+package fingerprint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ciphers"
+	"repro/internal/wire"
+)
+
+func helloA() *wire.ClientHello {
+	return &wire.ClientHello{
+		LegacyVersion: ciphers.TLS12,
+		CipherSuites: []ciphers.Suite{
+			ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+			ciphers.TLS_RSA_WITH_AES_128_CBC_SHA,
+		},
+		Extensions: []wire.Extension{
+			wire.SNIExtension("a.com"),
+			wire.SupportedGroupsExtension([]uint16{29, 23}),
+			wire.ECPointFormatsExtension([]uint8{0}),
+		},
+	}
+}
+
+func helloB() *wire.ClientHello {
+	ch := helloA()
+	ch.CipherSuites = append(ch.CipherSuites, ciphers.TLS_RSA_WITH_RC4_128_SHA)
+	return ch
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a1 := FromClientHello(helloA())
+	a2 := FromClientHello(helloA())
+	if !a1.Equal(a2) {
+		t.Fatal("identical hellos produced different fingerprints")
+	}
+	if a1.ID() != a2.ID() {
+		t.Fatal("IDs differ")
+	}
+}
+
+func TestFingerprintIgnoresSNIValue(t *testing.T) {
+	// Fingerprints key on extension *types*, not values — the same
+	// instance talking to different destinations must fingerprint
+	// identically.
+	a := helloA()
+	b := helloA()
+	b.Extensions[0] = wire.SNIExtension("completely-different.org")
+	if !FromClientHello(a).Equal(FromClientHello(b)) {
+		t.Fatal("SNI value changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := FromClientHello(helloA())
+	b := FromClientHello(helloB())
+	if a.Equal(b) {
+		t.Fatal("different suite lists produced same fingerprint")
+	}
+	// Extension order matters.
+	c := helloA()
+	c.Extensions[1], c.Extensions[2] = c.Extensions[2], c.Extensions[1]
+	if FromClientHello(c).Equal(a) {
+		t.Fatal("extension order ignored")
+	}
+	// Version matters.
+	d := helloA()
+	d.LegacyVersion = ciphers.TLS10
+	if FromClientHello(d).Equal(a) {
+		t.Fatal("version ignored")
+	}
+}
+
+func TestFingerprintStringFormat(t *testing.T) {
+	s := FromClientHello(helloA()).String()
+	parts := strings.Split(s, ",")
+	if len(parts) != 5 {
+		t.Fatalf("canonical form has %d fields: %q", len(parts), s)
+	}
+	if parts[0] != "0303" {
+		t.Fatalf("version field = %q", parts[0])
+	}
+	if !strings.Contains(parts[1], "c02f") {
+		t.Fatalf("suites field = %q", parts[1])
+	}
+}
+
+func TestOffersInsecureSuites(t *testing.T) {
+	if FromClientHello(helloA()).OffersInsecureSuites() {
+		t.Error("clean hello flagged insecure")
+	}
+	if !FromClientHello(helloB()).OffersInsecureSuites() {
+		t.Error("RC4 hello not flagged insecure")
+	}
+}
+
+func TestMaxVersionCapture(t *testing.T) {
+	ch := helloA()
+	ch.Extensions = append(ch.Extensions,
+		wire.SupportedVersionsExtension([]ciphers.Version{ciphers.TLS13, ciphers.TLS12}))
+	fp := FromClientHello(ch)
+	if fp.MaxVersion != ciphers.TLS13 {
+		t.Fatalf("MaxVersion = %v", fp.MaxVersion)
+	}
+	if fp.Version != ciphers.TLS12 {
+		t.Fatalf("legacy Version = %v", fp.Version)
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	a := FromClientHello(helloA())
+	db.Add(a, "openssl")
+	db.Add(a, "openssl") // duplicate label ignored
+	db.Add(a, "curl")
+	if got := db.Lookup(a); len(got) != 2 || got[0] != "curl" || got[1] != "openssl" {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if db.Lookup(FromClientHello(helloB())) != nil {
+		t.Fatal("lookup of unknown fingerprint returned labels")
+	}
+	if db.Size() != 2 {
+		t.Fatalf("Size = %d", db.Size())
+	}
+	db.AddFiller(1682)
+	if db.Size() != 1684 {
+		t.Fatalf("Size with filler = %d, want 1684 (Kotzias DB)", db.Size())
+	}
+	db.AddFiller(-5)
+	if db.Size() != 1684 {
+		t.Fatal("negative filler changed size")
+	}
+}
+
+func TestGraphSharingAndPruning(t *testing.T) {
+	db := NewDB()
+	shared := FromClientHello(helloA())
+	unique := FromClientHello(helloB())
+	db.Add(shared, "openssl")
+
+	g := NewGraph(db)
+	g.Observe("echo-dot", shared)
+	g.Observe("echo-dot", shared)
+	g.Observe("echo-dot", unique) // second instance, not shared
+	g.Observe("fire-tv", shared)
+
+	edges := g.Edges()
+	// The unique fingerprint has one owner and must be pruned.
+	for _, e := range edges {
+		if e.FP == unique.ID() {
+			t.Fatalf("unshared fingerprint kept: %+v", e)
+		}
+	}
+	// Shared fingerprint: edges for both devices plus dashed DB edge.
+	var devices, apps int
+	for _, e := range edges {
+		if e.FP != shared.ID() {
+			continue
+		}
+		switch e.OwnerKind {
+		case NodeDevice:
+			devices++
+			if e.Owner == "echo-dot" && !e.Dominant {
+				t.Error("echo-dot's most-used fingerprint not marked dominant")
+			}
+		case NodeApplication:
+			apps++
+			if !e.FromDB {
+				t.Error("application edge not marked FromDB")
+			}
+		}
+	}
+	if devices != 2 || apps != 1 {
+		t.Fatalf("edges: devices=%d apps=%d, want 2/1", devices, apps)
+	}
+}
+
+func TestGraphSharedWith(t *testing.T) {
+	db := NewDB()
+	shared := FromClientHello(helloA())
+	db.Add(shared, "openssl")
+	g := NewGraph(db)
+	g.Observe("lg-tv", shared)
+	g.Observe("wink-hub", shared)
+	peers := g.SharedWith("lg-tv")
+	if len(peers) != 2 || peers[0] != "openssl" || peers[1] != "wink-hub" {
+		t.Fatalf("SharedWith = %v", peers)
+	}
+}
+
+func TestGraphMultiInstance(t *testing.T) {
+	g := NewGraph(nil)
+	g.Observe("multi", FromClientHello(helloA()))
+	g.Observe("multi", FromClientHello(helloB()))
+	g.Observe("single", FromClientHello(helloA()))
+	multi := g.MultiInstanceOwners()
+	if len(multi) != 1 || multi[0] != "multi" {
+		t.Fatalf("MultiInstanceOwners = %v", multi)
+	}
+	if got := g.Owners(); len(got) != 2 {
+		t.Fatalf("Owners = %v", got)
+	}
+	if got := g.FingerprintsOf("multi"); len(got) != 2 {
+		t.Fatalf("FingerprintsOf(multi) = %v", got)
+	}
+}
+
+func TestGraphDominantIsDeterministic(t *testing.T) {
+	// With tied counts the lexically-first fingerprint ID wins, stably.
+	g := NewGraph(nil)
+	a, b := FromClientHello(helloA()), FromClientHello(helloB())
+	g.Observe("dev", a)
+	g.Observe("dev", b)
+	g.Observe("other", a)
+	g.Observe("other", b)
+	e1 := g.Edges()
+	e2 := g.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("edge sets differ across calls")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NodeDevice.String() != "device" || NodeApplication.String() != "application" || NodeFingerprint.String() != "fingerprint" {
+		t.Fatal("node kind names wrong")
+	}
+}

@@ -1,0 +1,174 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/cloud"
+	"repro/internal/device"
+	"repro/internal/driver"
+	"repro/internal/netem"
+	"repro/internal/tlssim"
+)
+
+func guardedTestbed(t *testing.T, policy Policy) (*netem.Network, *device.Registry, *Guard, func()) {
+	t.Helper()
+	clk := clock.NewSimulated(device.ActiveSnapshot.Start())
+	nw := netem.New(clk)
+	reg := device.NewRegistry(clk)
+	cloud.New(nw, reg)
+	g := New(nw, policy)
+	uninstall := g.Install()
+	return nw, reg, g, uninstall
+}
+
+func TestGuardRelaysCleanConnections(t *testing.T) {
+	nw, reg, g, uninstall := guardedTestbed(t, DefaultPolicy)
+	defer uninstall()
+	dev, _ := reg.Get("nest-thermostat")
+	out := driver.Connect(nw, dev, dev.Destinations[0], device.ActiveSnapshot, 1)
+	if !out.Established {
+		t.Fatalf("clean connection blocked: %v", out.Err)
+	}
+	if !strings.Contains(out.Reply, "200 OK") {
+		t.Fatalf("relay mangled the exchange: reply %q", out.Reply)
+	}
+	relayed, blocked := g.Stats()
+	if relayed == 0 || blocked != 0 {
+		t.Fatalf("stats = %d relayed, %d blocked", relayed, blocked)
+	}
+}
+
+func TestGuardBlocksInsecureSuite(t *testing.T) {
+	// Wink Hub 2's hooks destination negotiates RC4; the guard cuts it.
+	nw, reg, g, uninstall := guardedTestbed(t, DefaultPolicy)
+	defer uninstall()
+	dev, _ := reg.Get("wink-hub-2")
+	var hooks device.Destination
+	for _, d := range dev.Destinations {
+		if d.Host == "hooks.wink.com" {
+			hooks = d
+		}
+	}
+	out := driver.Connect(nw, dev, hooks, device.ActiveSnapshot, 1)
+	if out.Established {
+		t.Fatal("insecure connection not blocked")
+	}
+	incidents := g.Incidents()
+	if len(incidents) != 1 {
+		t.Fatalf("incidents = %v", incidents)
+	}
+	in := incidents[0]
+	if in.Device != "wink-hub-2" || in.Host != "hooks.wink.com" {
+		t.Fatalf("incident = %+v", in)
+	}
+	// The RC4 server also negotiates TLS 1.0, so either reason is
+	// legitimate; it must mention the policy violation.
+	if !strings.Contains(in.Reason, "below policy minimum") && !strings.Contains(in.Reason, "insecure ciphersuite") {
+		t.Fatalf("reason = %q", in.Reason)
+	}
+	if !strings.Contains(g.Report(), "BLOCKED wink-hub-2") {
+		t.Fatalf("report: %s", g.Report())
+	}
+}
+
+func TestGuardBlocksOldVersions(t *testing.T) {
+	// The Wemo Plug can only speak TLS 1.0; under the default policy
+	// the guard cuts everything it does.
+	nw, reg, g, uninstall := guardedTestbed(t, DefaultPolicy)
+	defer uninstall()
+	dev, _ := reg.Get("wemo-plug")
+	out := driver.Connect(nw, dev, dev.Destinations[0], device.ActiveSnapshot, 1)
+	if out.Established {
+		t.Fatal("TLS 1.0 connection not blocked")
+	}
+	if _, blocked := g.Stats(); blocked != 1 {
+		t.Fatalf("blocked = %d", blocked)
+	}
+}
+
+func TestGuardRequireForwardSecrecy(t *testing.T) {
+	policy := Policy{MinVersion: ciphers.TLS10, RequireForwardSecrecy: true}
+	nw, reg, g, uninstall := guardedTestbed(t, policy)
+	defer uninstall()
+	// Zmodo's servers are RSA-only: every connection lacks PFS.
+	dev, _ := reg.Get("zmodo-doorbell")
+	out := driver.Connect(nw, dev, dev.Destinations[0], device.ActiveSnapshot, 1)
+	if out.Established {
+		t.Fatal("non-PFS connection not blocked")
+	}
+	incidents := g.Incidents()
+	if len(incidents) == 0 || !strings.Contains(incidents[0].Reason, "non-PFS") {
+		t.Fatalf("incidents = %+v", incidents)
+	}
+}
+
+func TestGuardUninstall(t *testing.T) {
+	nw, reg, g, uninstall := guardedTestbed(t, DefaultPolicy)
+	dev, _ := reg.Get("wemo-plug")
+	uninstall()
+	out := driver.Connect(nw, dev, dev.Destinations[0], device.ActiveSnapshot, 1)
+	if !out.Established {
+		t.Fatalf("connection failed after uninstall: %v", out.Err)
+	}
+	if _, blocked := g.Stats(); blocked != 0 {
+		t.Fatal("guard blocked after uninstall")
+	}
+}
+
+func TestGuardPassesNonTLSPorts(t *testing.T) {
+	// Revocation (port 80) traffic is not the guard's business.
+	nw, reg, _, uninstall := guardedTestbed(t, DefaultPolicy)
+	defer uninstall()
+	dev, _ := reg.Get("samsung-tv")
+	out := driver.Connect(nw, dev, dev.Destinations[0], device.ActiveSnapshot, 1)
+	if !out.Established {
+		t.Fatalf("samsung tv blocked: %v", out.Err)
+	}
+}
+
+func TestPolicyViolationTable(t *testing.T) {
+	cases := []struct {
+		policy  Policy
+		v       ciphers.Version
+		s       ciphers.Suite
+		blocked bool
+	}{
+		{DefaultPolicy, ciphers.TLS12, ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256, false},
+		{DefaultPolicy, ciphers.TLS11, ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256, true},
+		{DefaultPolicy, ciphers.TLS12, ciphers.TLS_RSA_WITH_RC4_128_SHA, true},
+		{Policy{MinVersion: ciphers.SSL30}, ciphers.TLS10, ciphers.TLS_RSA_WITH_RC4_128_SHA, false},
+		{Policy{RequireForwardSecrecy: true}, ciphers.TLS12, ciphers.TLS_RSA_WITH_AES_128_GCM_SHA256, true},
+		{Policy{RequireForwardSecrecy: true}, ciphers.TLS12, ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256, false},
+	}
+	for i, c := range cases {
+		_, got := c.policy.violation(c.v, c.s)
+		if got != c.blocked {
+			t.Errorf("case %d: violation = %v, want %v", i, got, c.blocked)
+		}
+	}
+}
+
+func TestGuardAgainstMitmStillWorks(t *testing.T) {
+	// A device that fails its handshake through the guard (e.g. version
+	// negotiation failure) surfaces the failure to the device, not a
+	// hang.
+	policy := Policy{MinVersion: ciphers.TLS13} // nothing passes
+	nw, reg, g, uninstall := guardedTestbed(t, policy)
+	defer uninstall()
+	dev, _ := reg.Get("nest-thermostat")
+	out := driver.Connect(nw, dev, dev.Destinations[0], device.ActiveSnapshot, 1)
+	if out.Established {
+		t.Fatal("connection passed a TLS 1.3-only policy")
+	}
+	var he *tlssim.HandshakeError
+	if !errors.As(out.Err, &he) {
+		t.Fatalf("err = %v, want a handshake error", out.Err)
+	}
+	if _, blocked := g.Stats(); blocked == 0 {
+		t.Fatal("no incident recorded")
+	}
+}

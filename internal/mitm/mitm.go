@@ -1,0 +1,263 @@
+// Package mitm implements the study's interception proxy — the
+// mitmproxy stand-in — and the active attack experiments built on it:
+// the three certificate-validation attacks of Table 2, the two
+// downgrade triggers behind Table 5, the forced-old-version experiment
+// behind Table 6, the spoofed-CA interception the root-store probe
+// uses (§4.2), and the TrafficPassthrough control.
+package mitm
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/ciphers"
+	"repro/internal/device"
+	"repro/internal/netem"
+	"repro/internal/rootstore"
+	"repro/internal/tlssim"
+	"repro/internal/wire"
+)
+
+// Attack identifies an interception mode.
+type Attack int
+
+const (
+	// AttackNoValidation presents a self-signed chain (Table 2).
+	AttackNoValidation Attack = iota
+	// AttackWrongHostname presents a valid chain for a domain the
+	// attacker controls (Table 2).
+	AttackWrongHostname
+	// AttackInvalidBasicConstraints signs the target host's certificate
+	// with a leaf (non-CA) certificate from a valid chain (Table 2).
+	AttackInvalidBasicConstraints
+	// AttackSpoofedCA presents a chain anchored at a spoofed copy of a
+	// chosen CA certificate (the root-store probe, §4.2).
+	AttackSpoofedCA
+	// AttackIncompleteHandshake withholds the ServerHello (Table 5).
+	AttackIncompleteHandshake
+	// AttackFailedHandshake causes a certificate-validation failure via
+	// a self-signed chain, for downgrade triggering (Table 5).
+	AttackFailedHandshake
+)
+
+// String implements fmt.Stringer.
+func (a Attack) String() string {
+	switch a {
+	case AttackNoValidation:
+		return "NoValidation"
+	case AttackWrongHostname:
+		return "WrongHostname"
+	case AttackInvalidBasicConstraints:
+		return "InvalidBasicConstraints"
+	case AttackSpoofedCA:
+		return "SpoofedCA"
+	case AttackIncompleteHandshake:
+		return "IncompleteHandshake"
+	case AttackFailedHandshake:
+		return "FailedHandshake"
+	default:
+		return "Unknown"
+	}
+}
+
+// AttackerDomain is the domain the attacker legitimately controls for
+// the WrongHostname attack (the paper used a free ZeroSSL certificate).
+const AttackerDomain = "attacker-owned.example.net"
+
+// Proxy is the interception proxy. It owns the attacker PKI material:
+// a private root CA, a legitimate certificate for AttackerDomain
+// chaining to a universally trusted root, and per-host forged leaves.
+type Proxy struct {
+	nw *netem.Network
+
+	attackerRoot certs.KeyPair // self-signed, untrusted
+	legitLeaf    certs.KeyPair // valid chain for AttackerDomain
+	trustedCA    certs.KeyPair // the operational CA that signed legitLeaf
+
+	mu     sync.Mutex
+	leaves map[string]certs.KeyPair // forged per-host leaves (self-signed root)
+}
+
+// attackValidity must cover the 2021 active experiment window.
+var (
+	attackNotBefore = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	attackNotAfter  = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// NewProxy builds the proxy against the testbed's CA universe.
+func NewProxy(nw *netem.Network, u *rootstore.Universe) *Proxy {
+	trusted := device.OperationalCAs(u)[0].Pair
+	p := &Proxy{
+		nw:           nw,
+		trustedCA:    trusted,
+		attackerRoot: certs.NewRootCA(certs.Name{CommonName: "mitm attacker root", Organization: "IoTLS", Country: "US"}, 6666, attackNotBefore, attackNotAfter, "mitm-attacker-root"),
+		leaves:       make(map[string]certs.KeyPair),
+	}
+	p.legitLeaf = trusted.Issue(certs.Template{
+		SerialNumber: 6667,
+		Subject:      certs.Name{CommonName: AttackerDomain, Organization: "IoTLS", Country: "US"},
+		NotBefore:    attackNotBefore, NotAfter: attackNotAfter,
+		DNSNames: []string{AttackerDomain},
+	}, "mitm-legit-leaf")
+	return p
+}
+
+// chainFor builds the presented chain and key for an attack on host.
+// spoofTarget is used only by AttackSpoofedCA.
+func (p *Proxy) chainFor(attack Attack, host string, spoofTarget *certs.Certificate) ([]*certs.Certificate, certs.KeyPair) {
+	switch attack {
+	case AttackNoValidation, AttackFailedHandshake:
+		leaf := p.selfSignedLeaf(host)
+		return []*certs.Certificate{leaf.Cert, p.attackerRoot.Cert}, leaf
+	case AttackWrongHostname:
+		// Full valid chain, wrong name.
+		return []*certs.Certificate{p.legitLeaf.Cert, p.trustedCA.Cert}, p.legitLeaf
+	case AttackInvalidBasicConstraints:
+		// The legit leaf (CA=false) misused as an issuer for host.
+		leaf := p.legitLeaf.Issue(certs.Template{
+			SerialNumber: serial(host) + 1,
+			Subject:      certs.Name{CommonName: host},
+			NotBefore:    attackNotBefore, NotAfter: attackNotAfter,
+			DNSNames: []string{host},
+		}, "mitm-bc-leaf-"+host)
+		return []*certs.Certificate{leaf.Cert, p.legitLeaf.Cert, p.trustedCA.Cert}, leaf
+	case AttackSpoofedCA:
+		spoof := certs.Spoof(spoofTarget, "mitm-spoof-"+spoofTarget.SubjectKey())
+		leaf := spoof.Issue(certs.Template{
+			SerialNumber: serial(host) + 2,
+			Subject:      certs.Name{CommonName: host},
+			NotBefore:    attackNotBefore, NotAfter: attackNotAfter,
+			DNSNames: []string{host},
+		}, "mitm-spoof-leaf-"+host)
+		return []*certs.Certificate{leaf.Cert, spoof.Cert}, leaf
+	default:
+		return nil, certs.KeyPair{}
+	}
+}
+
+func (p *Proxy) selfSignedLeaf(host string) certs.KeyPair {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if leaf, ok := p.leaves[host]; ok {
+		return leaf
+	}
+	leaf := p.attackerRoot.Issue(certs.Template{
+		SerialNumber: serial(host),
+		Subject:      certs.Name{CommonName: host},
+		NotBefore:    attackNotBefore, NotAfter: attackNotAfter,
+		DNSNames: []string{host},
+	}, "mitm-leaf-"+host)
+	p.leaves[host] = leaf
+	return leaf
+}
+
+func serial(host string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(host); i++ {
+		h ^= uint64(host[i])
+		h *= 1099511628211
+	}
+	return h&0x7fffffffffffffff | 0x4000000000000000
+}
+
+// ConnRecord is what the interceptor observed on one hijacked
+// connection.
+type ConnRecord struct {
+	Attack Attack
+	Host   string
+	// Hello is the ClientHello, nil if none.
+	Hello *wire.ClientHello
+	// Intercepted means the handshake completed under attack.
+	Intercepted bool
+	// Payload is the decrypted application data read after completion.
+	Payload string
+	// ClientAlert is the client's alert, if any (the probe observable).
+	ClientAlert *wire.Alert
+	// FailureClass is the server-side failure class when not
+	// intercepted.
+	FailureClass tlssim.FailureClass
+}
+
+// intercept installs a tap hijacking connections from srcHost to
+// dstHost and returns a channel of records plus a restore function.
+func (p *Proxy) intercept(attack Attack, srcHost, dstHost string, spoofTarget *certs.Certificate) (<-chan ConnRecord, func()) {
+	records := make(chan ConnRecord, 64)
+	chain, key := p.chainFor(attack, dstHost, spoofTarget)
+	p.nw.SetTap(func(meta netem.ConnMeta) netem.Handler {
+		if meta.SrcHost != srcHost || meta.DstHost != dstHost || meta.DstPort != 443 {
+			return nil
+		}
+		return func(conn net.Conn, meta netem.ConnMeta) {
+			records <- p.serveAttack(attack, dstHost, chain, key, conn)
+		}
+	})
+	return records, func() { p.nw.SetTap(nil) }
+}
+
+// serveAttack terminates one hijacked connection.
+func (p *Proxy) serveAttack(attack Attack, host string, chain []*certs.Certificate, key certs.KeyPair, conn net.Conn) ConnRecord {
+	cfg := &tlssim.ServerConfig{
+		Chain:      chain,
+		Key:        key,
+		MinVersion: ciphers.SSL30,
+		MaxVersion: ciphers.TLS13,
+		CipherSuites: []ciphers.Suite{
+			ciphers.TLS_AES_128_GCM_SHA256,
+			ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+			ciphers.TLS_RSA_WITH_AES_128_GCM_SHA256,
+			ciphers.TLS_RSA_WITH_AES_128_CBC_SHA,
+			ciphers.TLS_RSA_WITH_3DES_EDE_CBC_SHA,
+			ciphers.TLS_RSA_WITH_RC4_128_SHA,
+			ciphers.TLS_RSA_WITH_RC4_128_MD5,
+		},
+	}
+	if attack == AttackIncompleteHandshake {
+		cfg.Behavior = tlssim.ServeIncompleteHandshake
+	}
+	res := tlssim.Serve(conn, cfg)
+	rec := ConnRecord{Attack: attack, Host: host, Hello: res.ClientHello, ClientAlert: res.ClientAlert}
+	if res.Err != nil {
+		rec.FailureClass = res.Err.Class
+		return rec
+	}
+	rec.Intercepted = true
+	sess := res.Session
+	defer sess.Close()
+	sess.Conn.Conn.SetDeadline(time.Now().Add(250 * time.Millisecond))
+	buf := make([]byte, 1024)
+	n, err := sess.Conn.Read(buf)
+	if err == nil {
+		rec.Payload = string(buf[:n])
+		// Answer so the device finishes its exchange cleanly.
+		fmt.Fprintf(sess.Conn, "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+	}
+	return rec
+}
+
+// drain collects all records currently buffered.
+func drain(ch <-chan ConnRecord) []ConnRecord {
+	var out []ConnRecord
+	for {
+		select {
+		case r := <-ch:
+			out = append(out, r)
+		default:
+			return out
+		}
+	}
+}
+
+// SensitivePayload reports whether an intercepted payload contains
+// authentication material (the §5.2 manual-inspection criterion).
+func SensitivePayload(payload string) bool {
+	for _, marker := range []string{"Authorization:", "Bearer ", "encrypt_key", "deviceSecret", "credential"} {
+		if strings.Contains(payload, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package netem
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDialDelay(t *testing.T) {
+	n, _ := newTestNetwork()
+	n.Listen("s.com", 443, echoHandler)
+	n.SetImpairment(Impairment{DialDelay: 30 * time.Millisecond})
+	start := time.Now()
+	conn, err := n.Dial("d", "s.com", 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("dial took %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestDropEveryN(t *testing.T) {
+	n, _ := newTestNetwork()
+	n.Listen("s.com", 443, echoHandler)
+	n.SetImpairment(Impairment{DropEveryN: 3})
+	results := make([]bool, 0, 6)
+	for i := 0; i < 6; i++ {
+		conn, err := n.Dial("d", "s.com", 443)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(50 * time.Millisecond))
+		conn.Write([]byte("x"))
+		buf := make([]byte, 1)
+		_, rerr := io.ReadFull(conn, buf)
+		results = append(results, rerr == nil)
+		conn.Close()
+	}
+	// Connections 3 and 6 (1-indexed) are black-holed.
+	want := []bool{true, true, false, true, true, false}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Fatalf("results = %v, want %v", results, want)
+		}
+	}
+	if n.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", n.Dropped())
+	}
+}
+
+func TestDropBypassesTap(t *testing.T) {
+	// A dropped connection never reaches the interception tap: the
+	// device simply sees a dead network, as in real packet loss.
+	n, _ := newTestNetwork()
+	tapped := 0
+	n.SetTap(func(meta ConnMeta) Handler {
+		tapped++
+		return func(conn net.Conn, _ ConnMeta) { conn.Close() }
+	})
+	n.SetImpairment(Impairment{DropEveryN: 1}) // drop everything
+	conn, err := n.Dial("d", "anything.com", 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("black-holed connection produced data")
+	}
+	conn.Close()
+	if tapped != 0 {
+		t.Fatalf("tap consulted %d times for dropped connections", tapped)
+	}
+}
+
+func TestImpairmentDisable(t *testing.T) {
+	n, _ := newTestNetwork()
+	n.Listen("s.com", 443, echoHandler)
+	n.SetImpairment(Impairment{DropEveryN: 1})
+	n.SetImpairment(Impairment{}) // back to a clean network
+	conn, err := n.Dial("d", "s.com", 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("y"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("clean network dropped: %v", err)
+	}
+}

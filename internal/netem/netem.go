@@ -1,0 +1,257 @@
+// Package netem provides the in-memory network substrate for the IoTLS
+// testbed: hosts, dialers, listeners, DNS-style name resolution, and —
+// crucially for the study — a gateway vantage point that can both
+// passively mirror every byte crossing it (the paper's passive
+// experiments) and actively redirect connections to an interception
+// handler (the paper's mitmproxy-based active experiments).
+//
+// Connections are real net.Conn pairs (net.Pipe), so TLS state machines
+// running on top exercise genuine blocking reads/writes, deadlines and
+// close semantics.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// ConnMeta describes one connection crossing the gateway.
+type ConnMeta struct {
+	// SrcHost is the originating host name (a device identifier).
+	SrcHost string
+	// DstHost and DstPort identify the dialed destination by name.
+	DstHost string
+	DstPort int
+	// At is the (virtual) time the connection was opened.
+	At time.Time
+}
+
+// Addr renders the destination as "host:port".
+func (m ConnMeta) Addr() string { return fmt.Sprintf("%s:%d", m.DstHost, m.DstPort) }
+
+// Handler serves the server side of an accepted connection. The handler
+// owns conn and must close it.
+type Handler func(conn net.Conn, meta ConnMeta)
+
+// Tap decides what happens to a new connection at the gateway. Returning
+// nil lets the connection through to its real destination; returning a
+// Handler hijacks it (the interception path). The paper's
+// TrafficPassthrough mode is a Tap that selectively returns nil.
+type Tap func(meta ConnMeta) Handler
+
+// Mirror receives a copy of every byte crossing the gateway for one
+// connection, split by direction. Implementations must tolerate calls
+// from the two transfer goroutines concurrently. CloseMirror is called
+// exactly once after both directions have finished.
+type Mirror interface {
+	// ClientBytes observes bytes flowing client -> server.
+	ClientBytes(p []byte)
+	// ServerBytes observes bytes flowing server -> client.
+	ServerBytes(p []byte)
+	// CloseMirror signals the end of the connection.
+	CloseMirror()
+}
+
+// MirrorFactory creates a Mirror for each new connection, or returns nil
+// to skip mirroring that connection.
+type MirrorFactory func(meta ConnMeta) Mirror
+
+// Impairment degrades the network deterministically — the testbed's
+// stand-in for flaky home WiFi. Zero values disable each effect.
+type Impairment struct {
+	// DialDelay adds connection-setup latency to every Dial.
+	DialDelay time.Duration
+	// DropEveryN black-holes every Nth connection (counting from the
+	// Nth): the peer accepts bytes but never answers, so clients
+	// experience an incomplete handshake — the trigger for the Table 5
+	// fallback behaviours in the wild.
+	DropEveryN int
+}
+
+// Network is the simulated smart-home network: devices on one side, a
+// gateway in the middle, and cloud services on the other.
+type Network struct {
+	clk clock.Clock
+
+	mu         sync.RWMutex
+	listeners  map[string]Handler
+	tap        Tap
+	mirror     MirrorFactory
+	connCount  int
+	impairment Impairment
+	dropped    int
+}
+
+// New creates an empty network observing time through clk.
+func New(clk clock.Clock) *Network {
+	return &Network{clk: clk, listeners: make(map[string]Handler)}
+}
+
+// ErrNoRoute is returned by Dial when no listener serves the destination.
+var ErrNoRoute = errors.New("netem: no route to host")
+
+// Listen registers h as the service at host:port, replacing any previous
+// registration.
+func (n *Network) Listen(host string, port int, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.listeners[fmt.Sprintf("%s:%d", host, port)] = h
+}
+
+// Unlisten removes the service at host:port.
+func (n *Network) Unlisten(host string, port int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.listeners, fmt.Sprintf("%s:%d", host, port))
+}
+
+// SetTap installs the gateway interception hook (nil disables).
+func (n *Network) SetTap(t Tap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tap = t
+}
+
+// SetMirror installs the passive byte-mirroring hook (nil disables).
+func (n *Network) SetMirror(f MirrorFactory) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mirror = f
+}
+
+// ConnCount reports how many connections have been opened since creation.
+func (n *Network) ConnCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.connCount
+}
+
+// SetImpairment configures network degradation (zero value disables).
+func (n *Network) SetImpairment(imp Impairment) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.impairment = imp
+}
+
+// Dropped reports how many connections the impairment has black-holed.
+func (n *Network) Dropped() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.dropped
+}
+
+// blackHole swallows everything the client sends and never answers,
+// closing only when the client gives up.
+func blackHole(conn net.Conn, _ ConnMeta) {
+	defer conn.Close()
+	buf := make([]byte, 1024)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// Dial opens a connection from srcHost to dstHost:dstPort through the
+// gateway. The returned conn is the client side; the matching server side
+// is passed to the interception handler (if the tap hijacks) or to the
+// registered listener. Dial fails with ErrNoRoute when neither applies.
+func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
+	meta := ConnMeta{SrcHost: srcHost, DstHost: dstHost, DstPort: dstPort, At: n.clk.Now()}
+
+	n.mu.Lock()
+	n.connCount++
+	tap := n.tap
+	mirror := n.mirror
+	handler := n.listeners[meta.Addr()]
+	imp := n.impairment
+	drop := imp.DropEveryN > 0 && n.connCount%imp.DropEveryN == 0
+	if drop {
+		n.dropped++
+	}
+	n.mu.Unlock()
+
+	if imp.DialDelay > 0 {
+		time.Sleep(imp.DialDelay)
+	}
+	if drop {
+		handler = blackHole
+		tap = nil
+	}
+
+	if tap != nil {
+		if h := tap(meta); h != nil {
+			handler = h
+		}
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, meta.Addr())
+	}
+
+	clientSide, serverSide := net.Pipe()
+	var client net.Conn = &addrConn{Conn: clientSide, local: hostAddr(srcHost), remote: hostAddr(meta.Addr())}
+	server := &addrConn{Conn: serverSide, local: hostAddr(meta.Addr()), remote: hostAddr(srcHost)}
+
+	if mirror != nil {
+		if m := mirror(meta); m != nil {
+			client = newMirroredConn(client, m)
+		}
+	}
+
+	go handler(server, meta)
+	return client, nil
+}
+
+// hostAddr is a net.Addr naming a simulated host.
+type hostAddr string
+
+func (h hostAddr) Network() string { return "iotls" }
+func (h hostAddr) String() string  { return string(h) }
+
+// addrConn decorates a pipe conn with meaningful addresses.
+type addrConn struct {
+	net.Conn
+	local, remote net.Addr
+}
+
+func (c *addrConn) LocalAddr() net.Addr  { return c.local }
+func (c *addrConn) RemoteAddr() net.Addr { return c.remote }
+
+// mirroredConn copies all traffic through a Mirror. Reads observe
+// server->client bytes; writes observe client->server bytes.
+type mirroredConn struct {
+	net.Conn
+	mirror Mirror
+	once   sync.Once
+}
+
+func newMirroredConn(c net.Conn, m Mirror) *mirroredConn {
+	return &mirroredConn{Conn: c, mirror: m}
+}
+
+func (c *mirroredConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.mirror.ServerBytes(p[:n])
+	}
+	return n, err
+}
+
+func (c *mirroredConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.mirror.ClientBytes(p[:n])
+	}
+	return n, err
+}
+
+func (c *mirroredConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.mirror.CloseMirror)
+	return err
+}

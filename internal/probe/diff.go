@@ -1,0 +1,90 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rootstore"
+)
+
+// Diff compares two explorations of the same device taken at different
+// times — the tooling behind the paper's §5.2 observation that devices
+// install firmware updates without updating their root stores. A
+// healthy update pipeline would show distrusted CAs disappearing
+// between runs; the paper found none doing so.
+type Diff struct {
+	Device string
+	// Added / Removed are CAs whose verdict changed to/from included.
+	Added   []*rootstore.CA
+	Removed []*rootstore.CA
+	// StillDistrusted lists explicitly distrusted CAs present in both
+	// runs — the paper's headline finding when non-empty.
+	StillDistrusted []*rootstore.CA
+	// Unchanged counts CAs with identical conclusive verdicts.
+	Unchanged int
+}
+
+// CompareReports diffs two reports for the same device. Trials that are
+// inconclusive in either run are skipped (no evidence of change).
+func CompareReports(old, new *Report) (*Diff, error) {
+	if old.Device != new.Device {
+		return nil, fmt.Errorf("probe: diff across devices %s and %s", old.Device, new.Device)
+	}
+	d := &Diff{Device: old.Device}
+	index := func(trials []Trial) map[string]Trial {
+		m := make(map[string]Trial, len(trials))
+		for _, t := range trials {
+			if t.CA != nil {
+				m[t.CA.Cert().SubjectKey()] = t
+			}
+		}
+		return m
+	}
+	oldAll := index(append(append([]Trial(nil), old.Common...), old.Deprecated...))
+	newAll := index(append(append([]Trial(nil), new.Common...), new.Deprecated...))
+	for key, nt := range newAll {
+		ot, ok := oldAll[key]
+		if !ok || ot.Verdict == VerdictInconclusive || nt.Verdict == VerdictInconclusive {
+			continue
+		}
+		switch {
+		case ot.Verdict == nt.Verdict:
+			d.Unchanged++
+			if nt.Verdict == VerdictIncluded && nt.CA.Distrusted {
+				d.StillDistrusted = append(d.StillDistrusted, nt.CA)
+			}
+		case nt.Verdict == VerdictIncluded:
+			d.Added = append(d.Added, nt.CA)
+		default:
+			d.Removed = append(d.Removed, nt.CA)
+		}
+	}
+	sortCAs(d.Added)
+	sortCAs(d.Removed)
+	sortCAs(d.StillDistrusted)
+	return d, nil
+}
+
+func sortCAs(cas []*rootstore.CA) {
+	sort.Slice(cas, func(i, j int) bool {
+		return cas[i].Cert().SubjectKey() < cas[j].Cert().SubjectKey()
+	})
+}
+
+// Render draws the diff.
+func (d *Diff) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root-store diff for %s: +%d -%d (=%d)\n",
+		d.Device, len(d.Added), len(d.Removed), d.Unchanged)
+	for _, ca := range d.Added {
+		fmt.Fprintf(&b, "  added:   %s\n", ca.Cert().Subject.CommonName)
+	}
+	for _, ca := range d.Removed {
+		fmt.Fprintf(&b, "  removed: %s\n", ca.Cert().Subject.CommonName)
+	}
+	for _, ca := range d.StillDistrusted {
+		fmt.Fprintf(&b, "  STILL DISTRUSTED: %s (%s)\n", ca.Cert().Subject.CommonName, ca.DistrustNote)
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+// Package report persists a completed study's artifacts to disk: one
+// file per table and figure (the layout of the paper's published data
+// release), machine-readable CSVs for the heatmap figures, and an index.
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/capture"
+	"repro/internal/ciphers"
+	"repro/internal/core"
+)
+
+// artifact is one output file.
+type artifact struct {
+	Name    string
+	Title   string
+	Content string
+}
+
+// Write renders every artifact of rep into dir (created if needed) and
+// returns the file names written, index.md first.
+func Write(dir string, s *core.Study, rep *core.Report) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	nameOf := s.NameOf
+	artifacts := []artifact{
+		{"table1.txt", "Device inventory", analysis.RenderTable1(s.Registry)},
+		{"table2.txt", "Interception attacks", analysis.RenderTable2()},
+		{"table3.txt", "Root-store sources", analysis.RenderTable3()},
+		{"table4.txt", "Library alert amenability", analysis.RenderTable4(rep.Table4Rows)},
+		{"table5.txt", "Downgrade behaviours", analysis.RenderTable5(rep.Downgrades, nameOf)},
+		{"table6.txt", "Old-version support", analysis.RenderTable6(rep.OldVersions, nameOf)},
+		{"table7.txt", "Interception vulnerability", analysis.RenderTable7(rep.Interceptions, nameOf)},
+		{"table8.txt", "Revocation support", rep.Table8.Render()},
+		{"table9.txt", "Root-store exploration", analysis.RenderTable9(rep.ProbeReports, nameOf)},
+		{"figure1.txt", "Version heatmaps", rep.Figure1.Render()},
+		{"figure2.txt", "Insecure-suite advertising", rep.Figure2.Render()},
+		{"figure3.txt", "Strong-suite establishment", rep.Figure3.Render()},
+		{"figure4.txt", "Root staleness", rep.Figure4.Render()},
+		{"figure5.txt", "Fingerprint sharing", rep.Figure5.Render()},
+		{"stats.txt", "Statistics", strings.Join([]string{
+			rep.Comparison.Render(),
+			rep.Passthrough.Render(),
+			rep.Dataset.Render(),
+			rep.Diversity.Render(),
+		}, "\n")},
+		{"figure2.csv", "Insecure-suite advertising (CSV)", heatmapCSV(rep.Figure2.Heatmap)},
+		{"figure3.csv", "Strong-suite establishment (CSV)", heatmapCSV(rep.Figure3.Heatmap)},
+	}
+	// The passive dataset itself.
+	var ds strings.Builder
+	if _, err := capture.WriteCSV(&ds, s.Store); err != nil {
+		return nil, err
+	}
+	artifacts = append(artifacts, artifact{"observations.csv", "Passive observations (CSV)", ds.String()})
+
+	var written []string
+	var index strings.Builder
+	index.WriteString("# IoTLS study artifacts\n\n")
+	for _, a := range artifacts {
+		path := filepath.Join(dir, a.Name)
+		if err := os.WriteFile(path, []byte(a.Content), 0o644); err != nil {
+			return written, err
+		}
+		written = append(written, a.Name)
+		fmt.Fprintf(&index, "- [%s](%s) — %s\n", a.Name, a.Name, a.Title)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.md"), []byte(index.String()), 0o644); err != nil {
+		return written, err
+	}
+	return append([]string{"index.md"}, written...), nil
+}
+
+// heatmapCSV flattens a heatmap into device,month,fraction rows; gaps
+// (no traffic) are omitted.
+func heatmapCSV(h *analysis.Heatmap) string {
+	var b strings.Builder
+	b.WriteString("device,month,fraction\n")
+	labels := append([]string(nil), h.RowOrder...)
+	sort.Strings(labels)
+	for _, label := range labels {
+		for _, m := range h.Months {
+			f := h.Get(label, m)
+			if f < 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%q,%s,%.4f\n", label, m, f)
+		}
+	}
+	return b.String()
+}
+
+// versionBands is kept for future per-band CSV exports of Figure 1.
+var versionBands = []ciphers.VersionBand{ciphers.Band13, ciphers.Band12, ciphers.BandOld}
+
+// Figure1CSV flattens Figure 1 (all bands, advertised and established).
+func Figure1CSV(fig *analysis.Figure1) string {
+	var b strings.Builder
+	b.WriteString("device,month,band,direction,fraction\n")
+	emit := func(hm *analysis.Heatmap, band ciphers.VersionBand, dir string) {
+		labels := append([]string(nil), hm.RowOrder...)
+		sort.Strings(labels)
+		for _, label := range labels {
+			for _, m := range hm.Months {
+				f := hm.Get(label, m)
+				if f < 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "%q,%s,%s,%s,%.4f\n", label, m, band, dir, f)
+			}
+		}
+	}
+	for _, band := range versionBands {
+		emit(fig.Advertised[band], band, "advertised")
+		emit(fig.Established[band], band, "established")
+	}
+	return b.String()
+}

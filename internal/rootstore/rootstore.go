@@ -1,0 +1,390 @@
+// Package rootstore models the CA root-store ecosystem the study probes
+// against: versioned root-store histories for four reference platforms
+// (Ubuntu, Android, Mozilla NSS, Microsoft — Table 3 of the paper), and
+// the set algebra from §4.2 that derives the two probe target sets:
+//
+//   - Common CA certificates: unexpired certificates present in the
+//     latest store version of every platform (122 in the paper);
+//   - Deprecated CA certificates: unexpired certificates present in a
+//     platform's earliest store version but removed from a successor
+//     version and never re-added (87 in the paper).
+//
+// The concrete CA population is synthetic (the real stores are external
+// data), but the distrusted CAs the paper calls out — WoSign, TurkTrust,
+// Certinomis, CNNIC — are modelled by name with their real-world
+// distrust years, and the set sizes match the paper exactly.
+package rootstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/certs"
+)
+
+// Platform names (Table 3).
+const (
+	PlatformUbuntu    = "ubuntu"
+	PlatformAndroid   = "android"
+	PlatformMozilla   = "mozilla"
+	PlatformMicrosoft = "microsoft"
+)
+
+// PlatformInfo mirrors a Table 3 row.
+type PlatformInfo struct {
+	Name          string
+	TotalVersions int
+	EarliestYear  int
+	Source        string
+}
+
+// Platforms lists the four reference platforms with Table 3's version
+// counts and earliest years.
+var Platforms = []PlatformInfo{
+	{PlatformUbuntu, 9, 2012, "ca-certificates package from official Docker images"},
+	{PlatformAndroid, 10, 2010, "version-tagged AOSP ca-certificates commits"},
+	{PlatformMozilla, 47, 2013, "NSS certdata.txt commit history"},
+	{PlatformMicrosoft, 15, 2017, "published trusted root program history"},
+}
+
+// DistrustReason explains why a CA left a root store.
+type DistrustReason int
+
+const (
+	// RemovedAdministrative covers routine removals (key rotation,
+	// voluntary retirement) — deprecated but not necessarily untrusted.
+	RemovedAdministrative DistrustReason = iota
+	// RemovedDistrusted covers explicit distrust for misbehaviour.
+	RemovedDistrusted
+)
+
+// CA is one root certificate in the modelled ecosystem with its
+// cross-platform lifecycle.
+type CA struct {
+	// Pair is the CA certificate and key (keys are needed only to issue
+	// leaves for legitimate chains; the probe spoofs certificates
+	// without keys).
+	Pair certs.KeyPair
+	// RemovalYear maps platform name to the year the certificate was
+	// removed from that platform's store; absent = never removed.
+	RemovalYear map[string]int
+	// Distrusted marks CAs explicitly distrusted for cause.
+	Distrusted bool
+	// DistrustNote describes the cause for distrusted CAs.
+	DistrustNote string
+}
+
+// Cert returns the CA certificate.
+func (c *CA) Cert() *certs.Certificate { return c.Pair.Cert }
+
+// Deprecated reports whether any platform has removed this CA.
+func (c *CA) Deprecated() bool { return len(c.RemovalYear) > 0 }
+
+// LatestRemovalYear returns the most recent removal year across
+// platforms (Figure 4 uses this), or 0 if never removed.
+func (c *CA) LatestRemovalYear() int {
+	year := 0
+	for _, y := range c.RemovalYear {
+		if y > year {
+			year = y
+		}
+	}
+	return year
+}
+
+// Universe is the full modelled CA ecosystem.
+type Universe struct {
+	// Common are the CAs trusted by the latest version of every
+	// platform (unexpired). len == 122.
+	Common []*CA
+	// Deprecated are the deprecated-yet-unexpired CAs. len == 87.
+	Deprecated []*CA
+
+	byKey map[string]*CA
+}
+
+// Paper set sizes (Table 9 header).
+const (
+	NumCommon     = 122
+	NumDeprecated = 87
+)
+
+// Distrusted CA identities the paper names, with the years major
+// platforms acted against them.
+var distrustedSeed = []struct {
+	cn   string
+	org  string
+	year int
+	note string
+}{
+	{"TURKTRUST Elektronik Sertifika Hizmet Saglayicisi", "TurkTrust", 2013, "unauthorized google.com certificate (Mozilla, 2013)"},
+	{"CNNIC ROOT", "China Internet Network Information Center", 2015, "unconstrained intermediate misuse (Google blocklist, 2015)"},
+	{"WoSign CA Free SSL Certificate G2", "WoSign CA Limited", 2016, "backdated SHA-1 issuance and undisclosed acquisition (Google/Mozilla, 2016)"},
+	{"Certinomis - Root CA", "Certinomis", 2019, "repeated misissuance (Mozilla, 2019)"},
+}
+
+var (
+	universeNotBefore = time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
+	universeNotAfter  = time.Date(2035, 1, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// NewUniverse builds the deterministic synthetic CA ecosystem. Every
+// call returns identical material (keys are seed-derived), so all
+// experiments are reproducible.
+func NewUniverse() *Universe {
+	u := &Universe{byKey: make(map[string]*CA)}
+
+	// Common CAs: in every platform's store from the beginning, never
+	// removed.
+	for i := 0; i < NumCommon; i++ {
+		name := certs.Name{
+			CommonName:   fmt.Sprintf("Global Trust Root CA %03d", i+1),
+			Organization: fmt.Sprintf("Trust Services %d", i%17),
+			Country:      commonCountry(i),
+		}
+		pair := certs.NewRootCA(name, uint64(1000+i), universeNotBefore, universeNotAfter, fmt.Sprintf("common-ca-%03d", i))
+		ca := &CA{Pair: pair, RemovalYear: map[string]int{}}
+		u.Common = append(u.Common, ca)
+		u.byKey[pair.Cert.SubjectKey()] = ca
+	}
+
+	// Deprecated CAs: the four named distrusted CAs, plus synthetic
+	// administrative removals with a Figure-4-shaped year distribution.
+	for i, d := range distrustedSeed {
+		name := certs.Name{CommonName: d.cn, Organization: d.org, Country: "TR"}
+		pair := certs.NewRootCA(name, uint64(9000+i), universeNotBefore, universeNotAfter, "distrusted-"+d.cn)
+		ca := &CA{
+			Pair:         pair,
+			Distrusted:   true,
+			DistrustNote: d.note,
+			RemovalYear:  removalYears(d.cn, d.year),
+		}
+		u.Deprecated = append(u.Deprecated, ca)
+		u.byKey[pair.Cert.SubjectKey()] = ca
+	}
+	for i := len(distrustedSeed); i < NumDeprecated; i++ {
+		name := certs.Name{
+			CommonName:   fmt.Sprintf("Legacy Root CA %03d", i+1),
+			Organization: fmt.Sprintf("Legacy PKI Services %d", i%11),
+			Country:      commonCountry(i + 7),
+		}
+		pair := certs.NewRootCA(name, uint64(5000+i), universeNotBefore, universeNotAfter, fmt.Sprintf("deprecated-ca-%03d", i))
+		ca := &CA{
+			Pair:        pair,
+			RemovalYear: removalYears(name.CommonName, deprecationYear(i)),
+		}
+		u.Deprecated = append(u.Deprecated, ca)
+		u.byKey[pair.Cert.SubjectKey()] = ca
+	}
+	return u
+}
+
+// deprecationYear shapes Figure 4: the majority of removals land in
+// 2018-2019, with a long tail back to 2013.
+func deprecationYear(i int) int {
+	switch {
+	case i%10 == 0:
+		return 2013
+	case i%10 == 1:
+		return 2014
+	case i%10 == 2:
+		return 2015
+	case i%10 == 3:
+		return 2016
+	case i%10 == 4:
+		return 2017
+	case i%10 <= 6:
+		return 2018
+	case i%10 <= 8:
+		return 2019
+	default:
+		return 2020
+	}
+}
+
+// removalYears spreads a CA's removal across the platforms that acted on
+// it. Every deprecated CA is carried (and later removed) by Android,
+// whose 2010-era earliest store predates all removals — guaranteeing the
+// §4.2 extraction discovers the full set. Other platforms follow within
+// two years where their version history allows.
+func removalYears(key string, latest int) map[string]int {
+	h := hashOf(key)
+	androidYear := latest - int(h%2)
+	if androidYear < 2011 {
+		androidYear = 2011
+	}
+	out := map[string]int{
+		PlatformMozilla: latest,
+		PlatformAndroid: androidYear,
+	}
+	if h%3 != 0 {
+		if y := latest - 1; y >= 2013 {
+			out[PlatformUbuntu] = y
+		}
+	}
+	if h%2 == 0 && latest >= 2018 {
+		out[PlatformMicrosoft] = latest
+	}
+	return out
+}
+
+func commonCountry(i int) string {
+	countries := []string{"US", "DE", "GB", "FR", "JP", "CH", "NL", "ES", "SE", "BE"}
+	return countries[i%len(countries)]
+}
+
+func hashOf(s string) uint32 {
+	sum := sha256.Sum256([]byte("rootstore:" + s))
+	return binary.BigEndian.Uint32(sum[:4])
+}
+
+// Lookup finds a CA by certificate subject key.
+func (u *Universe) Lookup(c *certs.Certificate) (*CA, bool) {
+	ca, ok := u.byKey[c.SubjectKey()]
+	return ca, ok
+}
+
+// AllCAs returns every CA, common then deprecated.
+func (u *Universe) AllCAs() []*CA {
+	out := make([]*CA, 0, len(u.Common)+len(u.Deprecated))
+	out = append(out, u.Common...)
+	out = append(out, u.Deprecated...)
+	return out
+}
+
+// versionYears reconstructs the year of each store version for a
+// platform from Table 3 (TotalVersions versions, starting at
+// EarliestYear, spread to the 2021 study date).
+func versionYears(p PlatformInfo) []int {
+	const lastYear = 2021
+	years := make([]int, p.TotalVersions)
+	span := lastYear - p.EarliestYear
+	for i := range years {
+		if p.TotalVersions == 1 {
+			years[i] = p.EarliestYear
+			continue
+		}
+		years[i] = p.EarliestYear + (span*i)/(p.TotalVersions-1)
+	}
+	return years
+}
+
+// StoreVersion returns the certificates in the platform's store as of
+// the given version index (0-based). It contains every common CA plus
+// each deprecated CA the platform had not yet removed (or never tracked
+// a removal for — absent platforms never carried the CA).
+func (u *Universe) StoreVersion(platform string, versionIdx int) []*certs.Certificate {
+	var info *PlatformInfo
+	for i := range Platforms {
+		if Platforms[i].Name == platform {
+			info = &Platforms[i]
+		}
+	}
+	if info == nil || versionIdx < 0 || versionIdx >= info.TotalVersions {
+		return nil
+	}
+	year := versionYears(*info)[versionIdx]
+	var out []*certs.Certificate
+	for _, ca := range u.Common {
+		out = append(out, ca.Cert())
+	}
+	for _, ca := range u.Deprecated {
+		removed, tracked := ca.RemovalYear[platform]
+		if !tracked {
+			continue // this platform never shipped the CA
+		}
+		if year < removed {
+			out = append(out, ca.Cert())
+		}
+	}
+	return out
+}
+
+// LatestStore returns the platform's latest store version.
+func (u *Universe) LatestStore(platform string) []*certs.Certificate {
+	for _, p := range Platforms {
+		if p.Name == platform {
+			return u.StoreVersion(platform, p.TotalVersions-1)
+		}
+	}
+	return nil
+}
+
+// EarliestStore returns the platform's earliest store version.
+func (u *Universe) EarliestStore(platform string) []*certs.Certificate {
+	return u.StoreVersion(platform, 0)
+}
+
+// CommonCertificates implements §4.2 set (1): unexpired certificates
+// common to the latest version of every platform.
+func (u *Universe) CommonCertificates(at time.Time) []*certs.Certificate {
+	counts := make(map[string]int)
+	byKey := make(map[string]*certs.Certificate)
+	for _, p := range Platforms {
+		for _, c := range u.LatestStore(p.Name) {
+			counts[c.SubjectKey()]++
+			byKey[c.SubjectKey()] = c
+		}
+	}
+	var out []*certs.Certificate
+	for key, n := range counts {
+		c := byKey[key]
+		if n == len(Platforms) && c.ValidAt(at) {
+			out = append(out, c)
+		}
+	}
+	sortCerts(out)
+	return out
+}
+
+// DeprecatedCertificates implements §4.2 set (2): starting from each
+// platform's earliest store, certificates removed in a successor version,
+// still unexpired, and not re-added to the platform's latest version.
+func (u *Universe) DeprecatedCertificates(at time.Time) []*certs.Certificate {
+	seen := make(map[string]*certs.Certificate)
+	for _, p := range Platforms {
+		earliest := indexCerts(u.EarliestStore(p.Name))
+		latest := indexCerts(u.LatestStore(p.Name))
+		for key, c := range earliest {
+			if _, stillThere := latest[key]; stillThere {
+				continue // never removed, or removed-then-re-added
+			}
+			if !c.ValidAt(at) {
+				continue
+			}
+			seen[key] = c
+		}
+	}
+	out := make([]*certs.Certificate, 0, len(seen))
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sortCerts(out)
+	return out
+}
+
+// DistrustedCAs returns the explicitly distrusted CAs.
+func (u *Universe) DistrustedCAs() []*CA {
+	var out []*CA
+	for _, ca := range u.Deprecated {
+		if ca.Distrusted {
+			out = append(out, ca)
+		}
+	}
+	return out
+}
+
+func indexCerts(cs []*certs.Certificate) map[string]*certs.Certificate {
+	m := make(map[string]*certs.Certificate, len(cs))
+	for _, c := range cs {
+		m[c.SubjectKey()] = c
+	}
+	return m
+}
+
+func sortCerts(cs []*certs.Certificate) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].SubjectKey() < cs[j].SubjectKey() })
+}

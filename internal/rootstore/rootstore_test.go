@@ -1,0 +1,225 @@
+package rootstore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/certs"
+)
+
+var probeTime = time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestUniverseSetSizesMatchPaper(t *testing.T) {
+	u := NewUniverse()
+	if len(u.Common) != NumCommon {
+		t.Fatalf("common CAs = %d, want %d", len(u.Common), NumCommon)
+	}
+	if len(u.Deprecated) != NumDeprecated {
+		t.Fatalf("deprecated CAs = %d, want %d", len(u.Deprecated), NumDeprecated)
+	}
+	common := u.CommonCertificates(probeTime)
+	if len(common) != NumCommon {
+		t.Fatalf("CommonCertificates = %d, want %d (Table 9 header)", len(common), NumCommon)
+	}
+	dep := u.DeprecatedCertificates(probeTime)
+	if len(dep) != NumDeprecated {
+		t.Fatalf("DeprecatedCertificates = %d, want %d (Table 9 header)", len(dep), NumDeprecated)
+	}
+}
+
+func TestUniverseDeterministic(t *testing.T) {
+	a, b := NewUniverse(), NewUniverse()
+	if a.Common[0].Cert().Fingerprint() != b.Common[0].Cert().Fingerprint() {
+		t.Fatal("universe generation not deterministic")
+	}
+	if a.Deprecated[10].Cert().Fingerprint() != b.Deprecated[10].Cert().Fingerprint() {
+		t.Fatal("deprecated generation not deterministic")
+	}
+}
+
+func TestCommonAndDeprecatedDisjoint(t *testing.T) {
+	u := NewUniverse()
+	common := map[string]bool{}
+	for _, c := range u.CommonCertificates(probeTime) {
+		common[c.SubjectKey()] = true
+	}
+	for _, c := range u.DeprecatedCertificates(probeTime) {
+		if common[c.SubjectKey()] {
+			t.Fatalf("certificate %s in both sets", c.Subject)
+		}
+	}
+}
+
+func TestDistrustedCAsPresent(t *testing.T) {
+	u := NewUniverse()
+	distrusted := u.DistrustedCAs()
+	if len(distrusted) != 4 {
+		t.Fatalf("distrusted CAs = %d, want 4", len(distrusted))
+	}
+	wantYears := map[string]int{
+		"TURKTRUST Elektronik Sertifika Hizmet Saglayicisi": 2013,
+		"CNNIC ROOT":                        2015,
+		"WoSign CA Free SSL Certificate G2": 2016,
+		"Certinomis - Root CA":              2019,
+	}
+	for _, ca := range distrusted {
+		cn := ca.Cert().Subject.CommonName
+		want, ok := wantYears[cn]
+		if !ok {
+			t.Errorf("unexpected distrusted CA %q", cn)
+			continue
+		}
+		if got := ca.LatestRemovalYear(); got != want {
+			t.Errorf("%s removal year = %d, want %d", cn, got, want)
+		}
+		if ca.DistrustNote == "" {
+			t.Errorf("%s has no distrust note", cn)
+		}
+		if !ca.Deprecated() {
+			t.Errorf("%s not marked deprecated", cn)
+		}
+	}
+}
+
+func TestDeprecatedAreInDeprecatedSet(t *testing.T) {
+	// Every modelled deprecated CA must be discoverable by the §4.2
+	// extraction (the paper's denominator of 87).
+	u := NewUniverse()
+	dep := map[string]bool{}
+	for _, c := range u.DeprecatedCertificates(probeTime) {
+		dep[c.SubjectKey()] = true
+	}
+	for _, ca := range u.Deprecated {
+		if !dep[ca.Cert().SubjectKey()] {
+			t.Errorf("deprecated CA %s not extracted", ca.Cert().Subject.CommonName)
+		}
+	}
+}
+
+func TestPlatformTable3Shape(t *testing.T) {
+	if len(Platforms) != 4 {
+		t.Fatalf("platforms = %d, want 4", len(Platforms))
+	}
+	want := map[string]struct{ versions, year int }{
+		PlatformUbuntu:    {9, 2012},
+		PlatformAndroid:   {10, 2010},
+		PlatformMozilla:   {47, 2013},
+		PlatformMicrosoft: {15, 2017},
+	}
+	for _, p := range Platforms {
+		w := want[p.Name]
+		if p.TotalVersions != w.versions || p.EarliestYear != w.year {
+			t.Errorf("%s = %d versions from %d, want %d from %d",
+				p.Name, p.TotalVersions, p.EarliestYear, w.versions, w.year)
+		}
+	}
+}
+
+func TestStoreVersionsShrinkOverTime(t *testing.T) {
+	u := NewUniverse()
+	for _, p := range Platforms {
+		earliest := u.EarliestStore(p.Name)
+		latest := u.LatestStore(p.Name)
+		if len(earliest) <= len(latest) {
+			t.Errorf("%s: earliest store (%d) not larger than latest (%d) — no deprecations?",
+				p.Name, len(earliest), len(latest))
+		}
+		if len(latest) < NumCommon {
+			t.Errorf("%s: latest store (%d) smaller than common set", p.Name, len(latest))
+		}
+	}
+}
+
+func TestStoreVersionMonotoneNonIncreasing(t *testing.T) {
+	// Without re-adds, each successive version can only lose deprecated
+	// CAs.
+	u := NewUniverse()
+	for _, p := range Platforms {
+		prev := -1
+		for v := 0; v < p.TotalVersions; v++ {
+			n := len(u.StoreVersion(p.Name, v))
+			if prev >= 0 && n > prev {
+				t.Errorf("%s v%d grew from %d to %d", p.Name, v, prev, n)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestStoreVersionBounds(t *testing.T) {
+	u := NewUniverse()
+	if u.StoreVersion("nonexistent", 0) != nil {
+		t.Error("unknown platform returned a store")
+	}
+	if u.StoreVersion(PlatformUbuntu, -1) != nil || u.StoreVersion(PlatformUbuntu, 99) != nil {
+		t.Error("out-of-range version returned a store")
+	}
+	if u.LatestStore("nope") != nil {
+		t.Error("LatestStore for unknown platform")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	u := NewUniverse()
+	ca, ok := u.Lookup(u.Common[5].Cert())
+	if !ok || ca != u.Common[5] {
+		t.Fatal("Lookup failed for common CA")
+	}
+	stranger := certs.NewRootCA(certs.Name{CommonName: "Stranger"}, 1, probeTime, probeTime.AddDate(1, 0, 0), "s")
+	if _, ok := u.Lookup(stranger.Cert); ok {
+		t.Fatal("Lookup found a stranger")
+	}
+}
+
+func TestAllCAs(t *testing.T) {
+	u := NewUniverse()
+	if got := len(u.AllCAs()); got != NumCommon+NumDeprecated {
+		t.Fatalf("AllCAs = %d, want %d", got, NumCommon+NumDeprecated)
+	}
+}
+
+func TestRemovalYearDistributionShape(t *testing.T) {
+	// Figure 4's aggregate shape: most removals in 2018-2019, tail back
+	// to 2013, and nothing outside 2013-2020.
+	u := NewUniverse()
+	hist := map[int]int{}
+	for _, ca := range u.Deprecated {
+		y := ca.LatestRemovalYear()
+		if y < 2013 || y > 2020 {
+			t.Fatalf("removal year %d out of range for %s", y, ca.Cert().Subject.CommonName)
+		}
+		hist[y]++
+	}
+	if hist[2018]+hist[2019] <= hist[2013]+hist[2014]+hist[2015] {
+		t.Errorf("2018-19 removals (%d) should dominate early years (%d): %v",
+			hist[2018]+hist[2019], hist[2013]+hist[2014]+hist[2015], hist)
+	}
+}
+
+func TestExpiredCertificatesExcluded(t *testing.T) {
+	// Query far in the future: everything has expired, the sets are
+	// empty.
+	u := NewUniverse()
+	future := time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC)
+	if n := len(u.CommonCertificates(future)); n != 0 {
+		t.Fatalf("expired common set = %d, want 0", n)
+	}
+	if n := len(u.DeprecatedCertificates(future)); n != 0 {
+		t.Fatalf("expired deprecated set = %d, want 0", n)
+	}
+}
+
+func TestDeprecatedKeysCanIssue(t *testing.T) {
+	// The simulation needs CA keys to build legitimate chains.
+	u := NewUniverse()
+	ca := u.Deprecated[0]
+	leaf := ca.Pair.Issue(certs.Template{
+		SerialNumber: 1,
+		Subject:      certs.Name{CommonName: "x.com"},
+		NotBefore:    universeNotBefore, NotAfter: universeNotAfter,
+		DNSNames: []string{"x.com"},
+	}, "x-leaf")
+	if err := leaf.Cert.CheckSignatureFrom(ca.Cert()); err != nil {
+		t.Fatalf("issue from deprecated CA: %v", err)
+	}
+}

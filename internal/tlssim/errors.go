@@ -1,0 +1,84 @@
+package tlssim
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// FailureClass buckets handshake failures the way the paper's analyses
+// need: an incomplete handshake (no server response) triggers different
+// device fallback behaviour than a failed handshake (Table 5), and the
+// probe needs to distinguish alerts from silent closes (Table 4).
+type FailureClass int
+
+const (
+	// FailIncomplete: the peer never completed its flight (timeout).
+	FailIncomplete FailureClass = iota
+	// FailPeerClosed: the peer closed the connection without an alert.
+	FailPeerClosed
+	// FailAlertReceived: the peer sent a fatal alert.
+	FailAlertReceived
+	// FailCertificate: we rejected the peer's certificate (clients only).
+	FailCertificate
+	// FailVersion: version negotiation failed.
+	FailVersion
+	// FailParameters: an unacceptable ciphersuite or malformed message.
+	FailParameters
+	// FailIO: transport-level error.
+	FailIO
+)
+
+// String implements fmt.Stringer.
+func (c FailureClass) String() string {
+	switch c {
+	case FailIncomplete:
+		return "incomplete"
+	case FailPeerClosed:
+		return "peer_closed"
+	case FailAlertReceived:
+		return "alert_received"
+	case FailCertificate:
+		return "certificate"
+	case FailVersion:
+		return "version"
+	case FailParameters:
+		return "parameters"
+	case FailIO:
+		return "io"
+	default:
+		return "unknown"
+	}
+}
+
+// HandshakeError describes a failed handshake.
+type HandshakeError struct {
+	// Class buckets the failure.
+	Class FailureClass
+	// Alert is the alert involved: the one we sent (FailCertificate,
+	// FailVersion, FailParameters) or the one we received
+	// (FailAlertReceived). Nil when no alert was exchanged — exactly the
+	// "No Alert" rows of Table 4.
+	Alert *wire.Alert
+	// Err is the underlying cause (e.g. a certs validation error).
+	Err error
+}
+
+// Error implements error.
+func (e *HandshakeError) Error() string {
+	msg := fmt.Sprintf("tlssim: handshake failed (%s)", e.Class)
+	if e.Alert != nil {
+		msg += fmt.Sprintf(", alert %s", e.Alert.Description)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause.
+func (e *HandshakeError) Unwrap() error { return e.Err }
+
+func failure(class FailureClass, alert *wire.Alert, err error) *HandshakeError {
+	return &HandshakeError{Class: class, Alert: alert, Err: err}
+}

@@ -1,0 +1,177 @@
+package tlssim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/certs"
+	"repro/internal/ciphers"
+)
+
+// The §6 mitigation analysis: leaf pinning defeats every interception
+// attack including a compromised/spoofed root store entry; root pinning
+// defeats CA substitution but not a compromised pinned root.
+
+func TestLeafPinningAcceptsRealServer(t *testing.T) {
+	root, server := testPKI(t, "pinned.example.com")
+	ccfg := defaultClient(root)
+	ccfg.PinnedLeaf = server.Cert.Fingerprint()
+	sess, err, res := handshake(t, ccfg, defaultServer(root, server), "pinned.example.com")
+	if err != nil {
+		t.Fatalf("pinned client rejected the real server: %v", err)
+	}
+	sess.Close()
+	res.Session.Close()
+}
+
+func TestLeafPinningRejectsSpoofedRootChain(t *testing.T) {
+	// The spoofed-CA attack fools nobody who pins the leaf: even though
+	// the chain "anchors" at a name-matching root, the leaf is not the
+	// pinned one. (With a truly compromised root key the chain would
+	// fully verify — pinning is the only remaining defence.)
+	root, server := testPKI(t, "pinned.example.com")
+	ccfg := defaultClient(root)
+	ccfg.PinnedLeaf = server.Cert.Fingerprint()
+
+	spoof := certs.Spoof(root.Cert, "pin-attacker")
+	leaf := spoof.Issue(certs.Template{
+		SerialNumber: 1,
+		Subject:      certs.Name{CommonName: "pinned.example.com"},
+		NotBefore:    tNotBefore, NotAfter: tNotAfter,
+		DNSNames: []string{"pinned.example.com"},
+	}, "pin-attacker-leaf")
+	scfg := &ServerConfig{
+		Chain: []*certs.Certificate{leaf.Cert, spoof.Cert}, Key: leaf,
+		MinVersion: ciphers.TLS10, MaxVersion: ciphers.TLS12,
+		CipherSuites: []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256},
+	}
+	_, err, _ := handshake(t, ccfg, scfg, "pinned.example.com")
+	var he *HandshakeError
+	if !errors.As(err, &he) || he.Class != FailCertificate {
+		t.Fatalf("err = %v, want FailCertificate", err)
+	}
+	var pe PinMismatchError
+	if !errors.As(err, &pe) || pe.Kind != "leaf" {
+		t.Fatalf("err = %v, want leaf pin mismatch", err)
+	}
+}
+
+func TestLeafPinningRejectsWrongHostnameAttackEvenWithoutHostnameChecks(t *testing.T) {
+	// Table 2's WrongHostname attack against a client that skips
+	// hostname checks but pins its leaf: still blocked.
+	root, server := testPKI(t, "pinned.example.com")
+	attacker := root.Issue(certs.Template{
+		SerialNumber: 2,
+		Subject:      certs.Name{CommonName: "attacker-owned.com"},
+		NotBefore:    tNotBefore, NotAfter: tNotAfter,
+		DNSNames: []string{"attacker-owned.com"},
+	}, "pin-wrong-host")
+	ccfg := defaultClient(root)
+	ccfg.Validation = ValidateNoHostname
+	ccfg.PinnedLeaf = server.Cert.Fingerprint()
+	scfg := &ServerConfig{
+		Chain: []*certs.Certificate{attacker.Cert, root.Cert}, Key: attacker,
+		MinVersion: ciphers.TLS10, MaxVersion: ciphers.TLS12,
+		CipherSuites: []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256},
+	}
+	_, err, _ := handshake(t, ccfg, scfg, "pinned.example.com")
+	var pe PinMismatchError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want pin mismatch", err)
+	}
+}
+
+func TestLeafPinningBindsNoValidationClients(t *testing.T) {
+	// The common IoT pattern: no CA validation at all, just a pinned
+	// leaf. The pin must still block substituted certificates.
+	root, server := testPKI(t, "pinned.example.com")
+	ccfg := defaultClient(root)
+	ccfg.Validation = ValidateNone
+	ccfg.PinnedLeaf = server.Cert.Fingerprint()
+
+	// Real server: accepted.
+	sess, err, res := handshake(t, ccfg, defaultServer(root, server), "pinned.example.com")
+	if err != nil {
+		t.Fatalf("pinned no-validation client rejected real server: %v", err)
+	}
+	sess.Close()
+	res.Session.Close()
+
+	// Forged chain: rejected despite ValidateNone.
+	forged := selfSignedServer("pinned.example.com")
+	scfg := defaultServer(certs.KeyPair{Cert: forged.Cert}, forged)
+	scfg.Chain = []*certs.Certificate{forged.Cert}
+	_, err, _ = handshake(t, ccfg, scfg, "pinned.example.com")
+	var pe PinMismatchError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want pin mismatch for no-validation client", err)
+	}
+}
+
+func TestRootPinningAcceptsMatchingAnchor(t *testing.T) {
+	root, server := testPKI(t, "pinned.example.com")
+	ccfg := defaultClient(root)
+	ccfg.PinnedRoot = root.Cert.Fingerprint()
+	sess, err, res := handshake(t, ccfg, defaultServer(root, server), "pinned.example.com")
+	if err != nil {
+		t.Fatalf("root-pinned client rejected real chain: %v", err)
+	}
+	sess.Close()
+	res.Session.Close()
+}
+
+func TestRootPinningRejectsOtherTrustedRoot(t *testing.T) {
+	// The client trusts two roots but pins one; a legitimate chain from
+	// the other root is rejected.
+	rootA, _ := testPKI(t, "pinned.example.com")
+	rootB := certs.NewRootCA(certs.Name{CommonName: "Other Root"}, 5, tNotBefore, tNotAfter, "other-root")
+	serverB := rootB.Issue(certs.Template{
+		SerialNumber: 3,
+		Subject:      certs.Name{CommonName: "pinned.example.com"},
+		NotBefore:    tNotBefore, NotAfter: tNotAfter,
+		DNSNames: []string{"pinned.example.com"},
+	}, "other-leaf")
+
+	ccfg := defaultClient(rootA)
+	ccfg.Roots.Add(rootB.Cert)
+	ccfg.PinnedRoot = rootA.Cert.Fingerprint()
+	scfg := &ServerConfig{
+		Chain: []*certs.Certificate{serverB.Cert, rootB.Cert}, Key: serverB,
+		MinVersion: ciphers.TLS10, MaxVersion: ciphers.TLS12,
+		CipherSuites: []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256},
+	}
+	_, err, _ := handshake(t, ccfg, scfg, "pinned.example.com")
+	var pe PinMismatchError
+	if !errors.As(err, &pe) || pe.Kind != "root" {
+		t.Fatalf("err = %v, want root pin mismatch", err)
+	}
+}
+
+func TestPinningDoesNotReplaceValidation(t *testing.T) {
+	// §6: "certificate validation checks are necessary even if pinning
+	// is implemented" — an expired pinned certificate is still rejected.
+	root, _ := testPKI(t, "pinned.example.com")
+	expired := root.Issue(certs.Template{
+		SerialNumber: 4,
+		Subject:      certs.Name{CommonName: "pinned.example.com"},
+		NotBefore:    tNotBefore,
+		NotAfter:     tNotBefore.AddDate(1, 0, 0), // long expired by tNow
+		DNSNames:     []string{"pinned.example.com"},
+	}, "expired-pinned")
+	ccfg := defaultClient(root)
+	ccfg.PinnedLeaf = expired.Cert.Fingerprint()
+	scfg := &ServerConfig{
+		Chain: []*certs.Certificate{expired.Cert, root.Cert}, Key: expired,
+		MinVersion: ciphers.TLS10, MaxVersion: ciphers.TLS12,
+		CipherSuites: []ciphers.Suite{ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256},
+	}
+	_, err, _ := handshake(t, ccfg, scfg, "pinned.example.com")
+	var he *HandshakeError
+	if !errors.As(err, &he) || he.Class != FailCertificate {
+		t.Fatalf("err = %v, want certificate failure despite matching pin", err)
+	}
+	var ee certs.ExpiredError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want expiry error", err)
+	}
+}

@@ -1,0 +1,142 @@
+package tlssim
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"net"
+	"sync"
+
+	"repro/internal/ciphers"
+	"repro/internal/wire"
+)
+
+// masterSecret derives the session master secret from the two hello
+// randoms and the negotiated suite. Both honest endpoints — and an
+// interceptor that terminated the handshake — can compute it, which is
+// exactly the trust model of the paper's interception attacks.
+func masterSecret(clientRandom, serverRandom [32]byte, suite ciphers.Suite) []byte {
+	h := sha256.New()
+	h.Write([]byte("iotls master secret"))
+	h.Write(clientRandom[:])
+	h.Write(serverRandom[:])
+	h.Write([]byte{byte(suite >> 8), byte(suite)})
+	return h.Sum(nil)
+}
+
+// keystreamCipher is a toy stream cipher: block i of the stream is
+// HMAC-SHA256(secret, direction || counter). It stands in for the real
+// record protection; the study never depends on cipher strength, only on
+// who holds the session secret.
+type keystreamCipher struct {
+	secret []byte
+	label  string
+	block  []byte
+	used   int
+	count  uint64
+}
+
+func newKeystream(secret []byte, label string) *keystreamCipher {
+	return &keystreamCipher{secret: secret, label: label}
+}
+
+func (k *keystreamCipher) xor(p []byte) {
+	for i := range p {
+		if k.used == len(k.block) {
+			mac := hmac.New(sha256.New, k.secret)
+			mac.Write([]byte(k.label))
+			var ctr [8]byte
+			for j := 0; j < 8; j++ {
+				ctr[j] = byte(k.count >> uint(56-8*j))
+			}
+			mac.Write(ctr[:])
+			k.block = mac.Sum(nil)
+			k.used = 0
+			k.count++
+		}
+		p[i] ^= k.block[k.used]
+		k.used++
+	}
+}
+
+// SecureConn carries application data over the record layer, protected
+// by the session keystream. It implements net.Conn-style Read/Write for
+// the payload stream.
+type SecureConn struct {
+	net.Conn
+	version ciphers.Version
+
+	readMu  sync.Mutex
+	readBuf []byte
+	in      *keystreamCipher
+
+	writeMu sync.Mutex
+	out     *keystreamCipher
+}
+
+// newSecureConn wraps conn with record protection. isClient selects the
+// keystream directions.
+func newSecureConn(conn net.Conn, version ciphers.Version, secret []byte, isClient bool) *SecureConn {
+	c2s := newKeystream(secret, "client->server")
+	s2c := newKeystream(secret, "server->client")
+	sc := &SecureConn{Conn: conn, version: version}
+	if isClient {
+		sc.out, sc.in = c2s, s2c
+	} else {
+		sc.out, sc.in = s2c, c2s
+	}
+	return sc
+}
+
+// Write encrypts p into one or more application-data records.
+func (c *SecureConn) Write(p []byte) (int, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > 16384 {
+			n = 16384
+		}
+		enc := make([]byte, n)
+		copy(enc, p[:n])
+		c.out.xor(enc)
+		if err := wire.WriteRecord(c.Conn, wire.Record{Type: wire.TypeApplicationData, Version: c.version, Payload: enc}); err != nil {
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Read decrypts the next application-data record, skipping non-data
+// records. An incoming close_notify alert is surfaced as io.EOF-like
+// behaviour via the underlying error.
+func (c *SecureConn) Read(p []byte) (int, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	for len(c.readBuf) == 0 {
+		rec, err := wire.ReadRecord(c.Conn)
+		if err != nil {
+			return 0, err
+		}
+		switch rec.Type {
+		case wire.TypeApplicationData:
+			buf := append([]byte(nil), rec.Payload...)
+			c.in.xor(buf)
+			c.readBuf = buf
+		case wire.TypeAlert:
+			if a, err := wire.ParseAlert(rec.Payload); err == nil {
+				return 0, a
+			}
+		default:
+			// Ignore stray CCS/handshake records after establishment.
+		}
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// Version reports the negotiated protocol version.
+func (c *SecureConn) Version() ciphers.Version { return c.version }

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ciphers"
+)
+
+// AlertLevel is the severity of a TLS alert.
+type AlertLevel uint8
+
+// Alert levels (RFC 5246 §7.2).
+const (
+	LevelWarning AlertLevel = 1
+	LevelFatal   AlertLevel = 2
+)
+
+// String implements fmt.Stringer.
+func (l AlertLevel) String() string {
+	switch l {
+	case LevelWarning:
+		return "warning"
+	case LevelFatal:
+		return "fatal"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// AlertDescription identifies the alert condition. The study's root-store
+// probing technique (§4.2 of the paper) hinges on the distinction between
+// AlertUnknownCA (chain building found no trusted issuer) and
+// AlertDecryptError / AlertBadCertificate (a trusted issuer was found but
+// signature validation failed).
+type AlertDescription uint8
+
+// Alert descriptions used by the simulation (RFC 5246 §7.2.2).
+const (
+	AlertCloseNotify            AlertDescription = 0
+	AlertUnexpectedMessage      AlertDescription = 10
+	AlertHandshakeFailure       AlertDescription = 40
+	AlertBadCertificate         AlertDescription = 42
+	AlertUnsupportedCertificate AlertDescription = 43
+	AlertCertificateExpired     AlertDescription = 45
+	AlertCertificateUnknown     AlertDescription = 46
+	AlertIllegalParameter       AlertDescription = 47
+	AlertUnknownCA              AlertDescription = 48
+	AlertDecodeError            AlertDescription = 50
+	AlertDecryptError           AlertDescription = 51
+	AlertProtocolVersion        AlertDescription = 70
+	AlertInternalError          AlertDescription = 80
+)
+
+// String renders the RFC snake_case alert name.
+func (d AlertDescription) String() string {
+	switch d {
+	case AlertCloseNotify:
+		return "close_notify"
+	case AlertUnexpectedMessage:
+		return "unexpected_message"
+	case AlertHandshakeFailure:
+		return "handshake_failure"
+	case AlertBadCertificate:
+		return "bad_certificate"
+	case AlertUnsupportedCertificate:
+		return "unsupported_certificate"
+	case AlertCertificateExpired:
+		return "certificate_expired"
+	case AlertCertificateUnknown:
+		return "certificate_unknown"
+	case AlertIllegalParameter:
+		return "illegal_parameter"
+	case AlertUnknownCA:
+		return "unknown_ca"
+	case AlertDecodeError:
+		return "decode_error"
+	case AlertDecryptError:
+		return "decrypt_error"
+	case AlertProtocolVersion:
+		return "protocol_version"
+	case AlertInternalError:
+		return "internal_error"
+	default:
+		return fmt.Sprintf("alert(%d)", uint8(d))
+	}
+}
+
+// Alert is a TLS alert message.
+type Alert struct {
+	Level       AlertLevel
+	Description AlertDescription
+}
+
+// Error implements error so an Alert can travel through error returns.
+func (a Alert) Error() string {
+	return fmt.Sprintf("tls: %s alert: %s", a.Level, a.Description)
+}
+
+// Marshal encodes the 2-byte alert body.
+func (a Alert) Marshal() []byte { return []byte{byte(a.Level), byte(a.Description)} }
+
+// ParseAlert decodes a 2-byte alert body.
+func ParseAlert(data []byte) (Alert, error) {
+	if len(data) != 2 {
+		return Alert{}, fmt.Errorf("wire: alert body is %d bytes, want 2", len(data))
+	}
+	return Alert{Level: AlertLevel(data[0]), Description: AlertDescription(data[1])}, nil
+}
+
+// WriteAlert sends an alert record at the given record version.
+func WriteAlert(w io.Writer, v ciphers.Version, a Alert) error {
+	return WriteRecord(w, Record{Type: TypeAlert, Version: v, Payload: a.Marshal()})
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ciphers"
+)
+
+func benchHello() *ClientHello {
+	ch := &ClientHello{
+		LegacyVersion: ciphers.TLS12,
+		CipherSuites: []ciphers.Suite{
+			ciphers.TLS_AES_128_GCM_SHA256,
+			ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+			ciphers.TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384,
+			ciphers.TLS_RSA_WITH_AES_128_CBC_SHA,
+			ciphers.TLS_RSA_WITH_3DES_EDE_CBC_SHA,
+			ciphers.TLS_RSA_WITH_RC4_128_SHA,
+		},
+		Extensions: []Extension{
+			SNIExtension("bench.example.com"),
+			StatusRequestExtension(),
+			SupportedGroupsExtension([]uint16{29, 23, 24}),
+			ECPointFormatsExtension([]uint8{0}),
+			SignatureAlgorithmsExtension([]ciphers.SignatureAlgorithm{ciphers.ED25519, ciphers.RSA_PKCS1_SHA256}),
+			SupportedVersionsExtension([]ciphers.Version{ciphers.TLS13, ciphers.TLS12}),
+		},
+	}
+	return ch
+}
+
+func BenchmarkClientHelloMarshal(b *testing.B) {
+	ch := benchHello()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(ch.Marshal()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkClientHelloParse(b *testing.B) {
+	enc := benchHello().Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseClientHello(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordRoundTrip(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xaa}, 1024)
+	b.ReportAllocs()
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteRecord(&buf, Record{Type: TypeApplicationData, Version: ciphers.TLS12, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadRecord(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlertParse(b *testing.B) {
+	enc := Alert{Level: LevelFatal, Description: AlertUnknownCA}.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAlert(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

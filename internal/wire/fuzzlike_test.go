@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ciphers"
+)
+
+// The decoders must never panic on arbitrary bytes: the gateway sniffer
+// and the interception proxy both feed them attacker-controlled data.
+
+func TestParseServerHelloNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseServerHello(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCertificateMsgNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseCertificateMsg(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHandshakeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, _ = ParseHandshake(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtensionParsersNeverPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseSNI(data)
+		_, _ = ParseSupportedVersions(data)
+		_, _ = ParseSignatureAlgorithms(data)
+		_, _ = ParseSupportedGroups(data)
+		_, _ = ParseECPointFormats(data)
+		_, _ = ParseAlert(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a ServerHello with arbitrary known fields round-trips.
+func TestServerHelloRoundTripProperty(t *testing.T) {
+	versions := []ciphers.Version{ciphers.SSL30, ciphers.TLS10, ciphers.TLS11, ciphers.TLS12, ciphers.TLS13}
+	f := func(vIdx uint8, suite uint16, random [32]byte, sid []byte) bool {
+		if len(sid) > 32 {
+			sid = sid[:32]
+		}
+		sh := &ServerHello{
+			Version:     versions[int(vIdx)%len(versions)],
+			Random:      random,
+			SessionID:   sid,
+			CipherSuite: ciphers.Suite(suite),
+		}
+		got, err := ParseServerHello(sh.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Version == sh.Version &&
+			got.CipherSuite == sh.CipherSuite &&
+			got.Random == sh.Random &&
+			string(got.SessionID) == string(sh.SessionID)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClientHello marshal→parse→marshal is a fixed point
+// (fingerprint stability under re-encoding).
+func TestClientHelloFixedPointProperty(t *testing.T) {
+	f := func(nSuites uint8, sni string, withExts bool) bool {
+		if len(sni) > 100 || len(sni) == 0 {
+			sni = "host.example.com"
+		}
+		all := ciphers.All()
+		ch := &ClientHello{LegacyVersion: ciphers.TLS12}
+		for i := 0; i < int(nSuites%16)+1; i++ {
+			ch.CipherSuites = append(ch.CipherSuites, all[i%len(all)].ID)
+		}
+		if withExts {
+			ch.Extensions = []Extension{
+				SNIExtension(sni),
+				SupportedGroupsExtension([]uint16{29}),
+			}
+		}
+		enc1 := ch.Marshal()
+		parsed, err := ParseClientHello(enc1)
+		if err != nil {
+			return false
+		}
+		enc2 := parsed.Marshal()
+		return string(enc1) == string(enc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

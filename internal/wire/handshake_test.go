@@ -1,0 +1,418 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/ciphers"
+)
+
+func sampleClientHello() *ClientHello {
+	ch := &ClientHello{
+		LegacyVersion: ciphers.TLS12,
+		SessionID:     []byte{1, 2, 3},
+		CipherSuites: []ciphers.Suite{
+			ciphers.TLS_AES_128_GCM_SHA256,
+			ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+			ciphers.TLS_RSA_WITH_RC4_128_SHA,
+		},
+		CompressionMethods: []byte{0},
+		Extensions: []Extension{
+			SNIExtension("cloud.vendor.com"),
+			SupportedVersionsExtension([]ciphers.Version{ciphers.TLS13, ciphers.TLS12}),
+			SignatureAlgorithmsExtension([]ciphers.SignatureAlgorithm{ciphers.ED25519, ciphers.RSA_PKCS1_SHA256}),
+			SupportedGroupsExtension([]uint16{29, 23, 24}),
+			ECPointFormatsExtension([]uint8{0}),
+			StatusRequestExtension(),
+		},
+	}
+	copy(ch.Random[:], bytes.Repeat([]byte{0xab}, 32))
+	return ch
+}
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	ch := sampleClientHello()
+	got, err := ParseClientHello(ch.Marshal())
+	if err != nil {
+		t.Fatalf("ParseClientHello: %v", err)
+	}
+	if got.LegacyVersion != ciphers.TLS12 {
+		t.Errorf("LegacyVersion = %v", got.LegacyVersion)
+	}
+	if !reflect.DeepEqual(got.CipherSuites, ch.CipherSuites) {
+		t.Errorf("CipherSuites = %v", got.CipherSuites)
+	}
+	if !bytes.Equal(got.SessionID, ch.SessionID) {
+		t.Errorf("SessionID = %v", got.SessionID)
+	}
+	if got.Random != ch.Random {
+		t.Errorf("Random mismatch")
+	}
+	if len(got.Extensions) != len(ch.Extensions) {
+		t.Fatalf("extension count = %d, want %d", len(got.Extensions), len(ch.Extensions))
+	}
+	// Re-marshal must be byte-identical (fingerprint stability).
+	if !bytes.Equal(got.Marshal(), ch.Marshal()) {
+		t.Error("re-marshal differs")
+	}
+}
+
+func TestClientHelloAccessors(t *testing.T) {
+	ch := sampleClientHello()
+	parsed, err := ParseClientHello(ch.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sni, ok := parsed.SNI(); !ok || sni != "cloud.vendor.com" {
+		t.Errorf("SNI = %q, %v", sni, ok)
+	}
+	vs := parsed.SupportedVersions()
+	if len(vs) != 2 || vs[0] != ciphers.TLS13 || vs[1] != ciphers.TLS12 {
+		t.Errorf("SupportedVersions = %v", vs)
+	}
+	if parsed.MaxVersion() != ciphers.TLS13 {
+		t.Errorf("MaxVersion = %v", parsed.MaxVersion())
+	}
+	algs := parsed.SignatureAlgorithms()
+	if len(algs) != 2 || algs[0] != ciphers.ED25519 {
+		t.Errorf("SignatureAlgorithms = %v", algs)
+	}
+	groups := parsed.SupportedGroups()
+	if len(groups) != 3 || groups[0] != 29 {
+		t.Errorf("SupportedGroups = %v", groups)
+	}
+	pf := parsed.ECPointFormats()
+	if len(pf) != 1 || pf[0] != 0 {
+		t.Errorf("ECPointFormats = %v", pf)
+	}
+	if !parsed.RequestsOCSPStaple() {
+		t.Error("OCSP staple request lost")
+	}
+	types := parsed.ExtensionTypes()
+	if len(types) != 6 || types[0] != ExtServerName {
+		t.Errorf("ExtensionTypes = %v", types)
+	}
+}
+
+func TestClientHelloWithoutExtensions(t *testing.T) {
+	// Old stacks omit the extensions block entirely.
+	ch := &ClientHello{
+		LegacyVersion: ciphers.TLS10,
+		CipherSuites:  []ciphers.Suite{ciphers.TLS_RSA_WITH_RC4_128_SHA},
+	}
+	parsed, err := ParseClientHello(ch.Marshal())
+	if err != nil {
+		t.Fatalf("ParseClientHello: %v", err)
+	}
+	if len(parsed.Extensions) != 0 {
+		t.Fatalf("Extensions = %v, want none", parsed.Extensions)
+	}
+	if _, ok := parsed.SNI(); ok {
+		t.Error("SNI present without extension")
+	}
+	// Implicit version range: SSL3.0..TLS1.0.
+	vs := parsed.SupportedVersions()
+	if len(vs) != 2 || vs[0] != ciphers.SSL30 || vs[1] != ciphers.TLS10 {
+		t.Fatalf("SupportedVersions = %v", vs)
+	}
+	if parsed.MaxVersion() != ciphers.TLS10 {
+		t.Fatalf("MaxVersion = %v", parsed.MaxVersion())
+	}
+	if parsed.RequestsOCSPStaple() {
+		t.Error("staple request invented")
+	}
+	if parsed.SignatureAlgorithms() != nil || parsed.SupportedGroups() != nil || parsed.ECPointFormats() != nil {
+		t.Error("accessors invented data for missing extensions")
+	}
+}
+
+func TestParseClientHelloMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x03},
+		bytes.Repeat([]byte{0}, 10),
+	}
+	for i, body := range cases {
+		if _, err := ParseClientHello(body); err == nil {
+			t.Errorf("case %d: malformed ClientHello parsed", i)
+		}
+	}
+	// Trailing garbage.
+	ch := sampleClientHello()
+	if _, err := ParseClientHello(append(ch.Marshal(), 0xff)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Odd ciphersuite vector length.
+	bad := &ClientHello{LegacyVersion: ciphers.TLS12, CipherSuites: []ciphers.Suite{ciphers.TLS_RSA_WITH_RC4_128_SHA}}
+	enc := bad.Marshal()
+	// Corrupt the suite vector length (offset: 2 version + 32 random + 1 sid len = 35).
+	enc[36] = 3
+	if _, err := ParseClientHello(enc); err == nil {
+		t.Error("odd suite vector accepted")
+	}
+}
+
+func TestParseClientHelloNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseClientHello(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerHelloRoundTripTLS12(t *testing.T) {
+	sh := &ServerHello{
+		Version:     ciphers.TLS12,
+		CipherSuite: ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+	}
+	got, err := ParseServerHello(sh.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != ciphers.TLS12 || got.CipherSuite != sh.CipherSuite {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestServerHelloRoundTripTLS13(t *testing.T) {
+	// TLS 1.3 keeps legacy version at 1.2 and uses supported_versions.
+	sh := &ServerHello{
+		Version:     ciphers.TLS13,
+		CipherSuite: ciphers.TLS_AES_128_GCM_SHA256,
+	}
+	enc := sh.Marshal()
+	if enc[0] != 0x03 || enc[1] != 0x03 {
+		t.Fatalf("legacy version bytes = %x %x, want 03 03", enc[0], enc[1])
+	}
+	got, err := ParseServerHello(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != ciphers.TLS13 {
+		t.Fatalf("resolved version = %v, want TLS 1.3", got.Version)
+	}
+}
+
+func TestServerHelloOldVersions(t *testing.T) {
+	for _, v := range []ciphers.Version{ciphers.SSL30, ciphers.TLS10, ciphers.TLS11} {
+		sh := &ServerHello{Version: v, CipherSuite: ciphers.TLS_RSA_WITH_RC4_128_SHA}
+		got, err := ParseServerHello(sh.Marshal())
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got.Version != v {
+			t.Fatalf("version = %v, want %v", got.Version, v)
+		}
+	}
+}
+
+func TestParseServerHelloMalformed(t *testing.T) {
+	if _, err := ParseServerHello([]byte{3}); err == nil {
+		t.Error("short ServerHello parsed")
+	}
+}
+
+func TestHandshakeFraming(t *testing.T) {
+	msg := Handshake{Type: TypeClientHello, Body: []byte("body")}
+	enc := msg.Marshal()
+	got, rest, err := ParseHandshake(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeClientHello || string(got.Body) != "body" || len(rest) != 0 {
+		t.Fatalf("got %+v rest %v", got, rest)
+	}
+}
+
+func TestHandshakeCoalesced(t *testing.T) {
+	a := Handshake{Type: TypeServerHello, Body: []byte{1}}
+	b := Handshake{Type: TypeCertificate, Body: []byte{2, 3}}
+	data := append(a.Marshal(), b.Marshal()...)
+	first, rest, err := ParseHandshake(data)
+	if err != nil || first.Type != TypeServerHello {
+		t.Fatalf("first = %+v, %v", first, err)
+	}
+	second, rest, err := ParseHandshake(rest)
+	if err != nil || second.Type != TypeCertificate || len(rest) != 0 {
+		t.Fatalf("second = %+v rest=%v err=%v", second, rest, err)
+	}
+}
+
+func TestHandshakeTruncated(t *testing.T) {
+	msg := Handshake{Type: TypeFinished, Body: make([]byte, 10)}
+	enc := msg.Marshal()
+	if _, _, err := ParseHandshake(enc[:7]); err == nil {
+		t.Error("truncated handshake parsed")
+	}
+	if _, _, err := ParseHandshake(nil); err == nil {
+		t.Error("empty handshake parsed")
+	}
+}
+
+func TestCertificateMsgRoundTrip(t *testing.T) {
+	t0 := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	t1 := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	ca := certs.NewRootCA(certs.Name{CommonName: "Wire Test CA"}, 1, t0, t1, "wire-ca")
+	leaf := ca.Issue(certs.Template{
+		SerialNumber: 2,
+		Subject:      certs.Name{CommonName: "host.example.com"},
+		NotBefore:    t0, NotAfter: t1,
+		DNSNames: []string{"host.example.com"},
+	}, "wire-leaf")
+	cm := &CertificateMsg{Chain: []*certs.Certificate{leaf.Cert, ca.Cert}}
+	msg := cm.Message()
+	if msg.Type != TypeCertificate {
+		t.Fatalf("type = %v", msg.Type)
+	}
+	got, err := ParseCertificateMsg(msg.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Chain) != 2 || got.Chain[0].Subject.CommonName != "host.example.com" {
+		t.Fatalf("chain = %v", got.Chain)
+	}
+	if _, err := ParseCertificateMsg([]byte{0, 0}); err == nil {
+		t.Error("malformed certificate msg parsed")
+	}
+	if _, err := ParseCertificateMsg([]byte{0, 0, 4, 1, 2, 3, 4}); err == nil {
+		t.Error("garbage chain parsed")
+	}
+}
+
+func TestFinishedAndVerifyData(t *testing.T) {
+	transcript := []byte("handshake transcript")
+	vd := ComputeVerifyData(transcript, "client")
+	if len(vd) != 12 {
+		t.Fatalf("verify data length = %d", len(vd))
+	}
+	vd2 := ComputeVerifyData(transcript, "server")
+	if bytes.Equal(vd, vd2) {
+		t.Fatal("client and server verify data identical")
+	}
+	vd3 := ComputeVerifyData([]byte("other transcript"), "client")
+	if bytes.Equal(vd, vd3) {
+		t.Fatal("different transcripts produced same verify data")
+	}
+	f := &FinishedMsg{VerifyData: vd}
+	if f.Message().Type != TypeFinished {
+		t.Fatal("wrong message type")
+	}
+}
+
+func TestHelperMessages(t *testing.T) {
+	if ServerHelloDone().Type != TypeServerHelloDone {
+		t.Fatal("ServerHelloDone type")
+	}
+	cke := ClientKeyExchange([]byte{9, 9})
+	if cke.Type != TypeClientKeyExchange || len(cke.Body) != 2 {
+		t.Fatal("ClientKeyExchange")
+	}
+}
+
+func TestWriteHandshakeOverRecordLayer(t *testing.T) {
+	var buf bytes.Buffer
+	ch := sampleClientHello()
+	if err := WriteHandshake(&buf, ciphers.TLS10, ch.Message()); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadRecord(&buf)
+	if err != nil || rec.Type != TypeHandshake {
+		t.Fatalf("rec = %+v, %v", rec, err)
+	}
+	msg, _, err := ParseHandshake(rec.Payload)
+	if err != nil || msg.Type != TypeClientHello {
+		t.Fatalf("msg = %+v, %v", msg, err)
+	}
+	parsed, err := ParseClientHello(msg.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sni, _ := parsed.SNI(); sni != "cloud.vendor.com" {
+		t.Fatalf("SNI = %q", sni)
+	}
+}
+
+func TestHandshakeTypeStrings(t *testing.T) {
+	cases := map[HandshakeType]string{
+		TypeClientHello:       "client_hello",
+		TypeServerHello:       "server_hello",
+		TypeCertificate:       "certificate",
+		TypeServerHelloDone:   "server_hello_done",
+		TypeClientKeyExchange: "client_key_exchange",
+		TypeFinished:          "finished",
+		HandshakeType(77):     "handshake(77)",
+	}
+	for ht, want := range cases {
+		if got := ht.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ht, got, want)
+		}
+	}
+}
+
+func TestExtensionTypeStrings(t *testing.T) {
+	cases := map[ExtensionType]string{
+		ExtServerName:          "server_name",
+		ExtStatusRequest:       "status_request",
+		ExtSupportedGroups:     "supported_groups",
+		ExtECPointFormats:      "ec_point_formats",
+		ExtSignatureAlgorithms: "signature_algorithms",
+		ExtALPN:                "alpn",
+		ExtSessionTicket:       "session_ticket",
+		ExtSupportedVersions:   "supported_versions",
+		ExtKeyShare:            "key_share",
+		ExtRenegotiationInfo:   "renegotiation_info",
+		ExtensionType(12345):   "ext(12345)",
+	}
+	for et, want := range cases {
+		if got := et.String(); got != want {
+			t.Errorf("%v = %q, want %q", uint16(et), got, want)
+		}
+	}
+}
+
+func TestALPNAndMiscExtensions(t *testing.T) {
+	e := ALPNExtension([]string{"h2", "http/1.1"})
+	if e.Type != ExtALPN || len(e.Data) == 0 {
+		t.Fatal("ALPN extension empty")
+	}
+	if SessionTicketExtension().Type != ExtSessionTicket {
+		t.Fatal("session ticket type")
+	}
+	if RenegotiationInfoExtension().Type != ExtRenegotiationInfo {
+		t.Fatal("renegotiation info type")
+	}
+}
+
+func TestParseSNIErrors(t *testing.T) {
+	if _, err := ParseSNI([]byte{0}); err == nil {
+		t.Error("short SNI parsed")
+	}
+	// name_type != host_name
+	b := SNIExtension("x.com")
+	data := append([]byte(nil), b.Data...)
+	data[2] = 1
+	if _, err := ParseSNI(data); err == nil {
+		t.Error("non-hostname SNI parsed")
+	}
+}
+
+func TestParseVectorExtensionErrors(t *testing.T) {
+	if _, err := ParseSupportedVersions([]byte{3, 0, 0}); err == nil {
+		t.Error("odd supported_versions parsed")
+	}
+	if _, err := ParseSignatureAlgorithms([]byte{0, 3, 0, 0, 0}); err == nil {
+		t.Error("odd signature_algorithms parsed")
+	}
+	if _, err := ParseSupportedGroups([]byte{0, 1, 0}); err == nil {
+		t.Error("odd supported_groups parsed")
+	}
+	if _, err := ParseECPointFormats(nil); err == nil {
+		t.Error("empty ec_point_formats parsed")
+	}
+}

@@ -1,0 +1,116 @@
+// Package wire implements the TLS wire format used by the IoTLS
+// simulation: the record layer, alert messages, and the handshake
+// messages (ClientHello, ServerHello, Certificate, Finished) together
+// with the extension blocks that TLS fingerprinting inspects.
+//
+// The encoding follows RFC 5246/8446 framing: 5-byte record headers,
+// 4-byte handshake headers, and 16-bit length-prefixed extension
+// vectors. Certificates use the internal/certs encoding instead of
+// ASN.1 DER; everything else is byte-compatible TLS layout so the
+// decoders exercise realistic parsing paths (per the gopacket-style
+// layered-decoding guidance).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/ciphers"
+)
+
+// ContentType is the TLS record content type.
+type ContentType uint8
+
+// Record content types (RFC 5246 §6.2.1).
+const (
+	TypeChangeCipherSpec ContentType = 20
+	TypeAlert            ContentType = 21
+	TypeHandshake        ContentType = 22
+	TypeApplicationData  ContentType = 23
+)
+
+// String implements fmt.Stringer.
+func (t ContentType) String() string {
+	switch t {
+	case TypeChangeCipherSpec:
+		return "change_cipher_spec"
+	case TypeAlert:
+		return "alert"
+	case TypeHandshake:
+		return "handshake"
+	case TypeApplicationData:
+		return "application_data"
+	default:
+		return fmt.Sprintf("content_type(%d)", uint8(t))
+	}
+}
+
+// MaxRecordPayload is the maximum record payload length accepted
+// (2^14 plaintext + 2048 expansion allowance, RFC 5246 §6.2.3).
+const MaxRecordPayload = 1<<14 + 2048
+
+// Record is one TLS record.
+type Record struct {
+	Type ContentType
+	// Version is the record-layer legacy version field.
+	Version ciphers.Version
+	Payload []byte
+}
+
+// ErrRecordTooLarge is returned for records exceeding MaxRecordPayload.
+var ErrRecordTooLarge = errors.New("wire: record payload exceeds maximum length")
+
+// RecordVersion assembles the record-layer version from its two header
+// bytes (a convenience for byte-level sniffers).
+func RecordVersion(hi, lo byte) ciphers.Version {
+	return ciphers.Version(uint16(hi)<<8 | uint16(lo))
+}
+
+// WriteRecord frames and writes a single record.
+func WriteRecord(w io.Writer, rec Record) error {
+	if len(rec.Payload) > MaxRecordPayload {
+		return ErrRecordTooLarge
+	}
+	hdr := [5]byte{
+		byte(rec.Type),
+		byte(rec.Version >> 8), byte(rec.Version),
+		byte(len(rec.Payload) >> 8), byte(len(rec.Payload)),
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(rec.Payload)
+	return err
+}
+
+// ReadRecord reads a single framed record. io.EOF is returned unchanged
+// when the stream ends cleanly at a record boundary.
+func ReadRecord(r io.Reader) (Record, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Record{}, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	n := int(hdr[3])<<8 | int(hdr[4])
+	if n > MaxRecordPayload {
+		return Record{}, ErrRecordTooLarge
+	}
+	rec := Record{
+		Type:    ContentType(hdr[0]),
+		Version: ciphers.Version(uint16(hdr[1])<<8 | uint16(hdr[2])),
+		Payload: make([]byte, n),
+	}
+	if _, err := io.ReadFull(r, rec.Payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	return rec, nil
+}
