@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build test race vet bench-telemetry clean
+
+# check is the full verification gate: vet, build, and the test suite
+# under the race detector.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-telemetry runs the full study through `iotls metrics report`
+# and captures the deterministic telemetry report.
+bench-telemetry:
+	$(GO) run ./cmd/iotls metrics report -o BENCH_telemetry.json > /dev/null
+
+clean:
+	rm -f observations.jsonl

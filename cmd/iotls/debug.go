@@ -1,0 +1,56 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// debugStudy is the study the live inspector reports on: newStudy
+// stores every testbed it builds here, so /debug/vars always reflects
+// the run in progress.
+var debugStudy atomic.Pointer[core.Study]
+
+// newStudy builds the testbed and registers it with the debug
+// inspector. All subcommands construct their study through this.
+func newStudy() *core.Study {
+	s := core.NewStudy()
+	debugStudy.Store(s)
+	return s
+}
+
+var publishOnce sync.Once
+
+// startDebugServer serves expvar (/debug/vars) and pprof
+// (/debug/pprof/) on addr, returning the bound address. The server
+// only reads telemetry snapshots, so it cannot perturb a running
+// study.
+func startDebugServer(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("iotls.telemetry", expvar.Func(func() any {
+			s := debugStudy.Load()
+			if s == nil {
+				return nil
+			}
+			return s.MetricsSnapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -9,6 +9,16 @@
 //	iotls report             run the full study and print every artifact
 //	iotls tables             print the static methodology tables (1-4)
 //	iotls export -o FILE     run the passive simulation and export observations as JSONL
+//	iotls audit              grade every device's TLS offer via the audit service (§6)
+//	iotls guard              boot all devices behind the gateway guard and report blocks (§6)
+//	iotls metrics [PHASE]    run a phase (default: report) and print the JSON telemetry report
+//
+// The global -debug-addr flag (before the subcommand) serves a live
+// runtime inspector — expvar at /debug/vars (including the study's
+// telemetry snapshot) and pprof at /debug/pprof/ — while the study
+// runs:
+//
+//	iotls -debug-addr :8080 report
 package main
 
 import (
@@ -28,12 +38,24 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("iotls", flag.ExitOnError)
+	global.Usage = usage
+	debugAddr := global.String("debug-addr", "", "serve expvar and pprof on this address while the study runs")
+	global.Parse(os.Args[1:])
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	args := os.Args[2:]
+	if *debugAddr != "" {
+		addr, err := startDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iotls:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "iotls: debug inspector on http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
+	cmd := global.Arg(0)
+	args := global.Args()[1:]
 	var err error
 	switch cmd {
 	case "passive":
@@ -54,6 +76,8 @@ func main() {
 		err = runAudit()
 	case "guard":
 		err = runGuard()
+	case "metrics":
+		err = runMetrics(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -65,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: iotls <command>
+	fmt.Fprintln(os.Stderr, `usage: iotls [-debug-addr ADDR] <command>
 
 commands:
   passive      run the 2-year passive simulation (Figures 1-3, Table 8)
@@ -76,11 +100,17 @@ commands:
   tables       print the static methodology tables (1-4)
   export       run the passive simulation and export JSONL (-o file)
   audit        grade every device's TLS offer via the audit service (§6)
-  guard        boot all devices behind the gateway guard and report blocks (§6)`)
+  guard        boot all devices behind the gateway guard and report blocks (§6)
+  metrics      run a phase (passive|active|probe|report) and print the
+               JSON telemetry report (-o file, -months N)
+
+flags:
+  -debug-addr ADDR   serve the live inspector (expvar at /debug/vars,
+                     pprof at /debug/pprof/) on ADDR while running`)
 }
 
 func runPassive() error {
-	s := core.NewStudy()
+	s := newStudy()
 	stats, err := s.RunPassive()
 	if err != nil {
 		return err
@@ -97,7 +127,7 @@ func runPassive() error {
 }
 
 func runActive() error {
-	s := core.NewStudy()
+	s := newStudy()
 	fmt.Println(analysis.RenderTable5(s.RunDowngradeSuite(), s.NameOf))
 	fmt.Println(analysis.RenderTable6(s.RunOldVersionSuite(), s.NameOf))
 	fmt.Println(analysis.RenderTable7(s.RunInterceptionSuite(), s.NameOf))
@@ -106,7 +136,7 @@ func runActive() error {
 }
 
 func runProbe() error {
-	s := core.NewStudy()
+	s := newStudy()
 	reports, candidates, err := s.RunProbe()
 	if err != nil {
 		return err
@@ -118,7 +148,7 @@ func runProbe() error {
 }
 
 func runFingerprint() error {
-	s := core.NewStudy()
+	s := newStudy()
 	store, err := s.CaptureActiveSnapshot()
 	if err != nil {
 		return err
@@ -132,7 +162,7 @@ func runReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	dir := fs.String("dir", "", "also write per-artifact files to this directory")
 	fs.Parse(args)
-	s := core.NewStudy()
+	s := newStudy()
 	rep, err := s.RunAll()
 	if err != nil {
 		return err
@@ -149,7 +179,7 @@ func runReport(args []string) error {
 }
 
 func runTables() error {
-	s := core.NewStudy()
+	s := newStudy()
 	fmt.Println(analysis.RenderTable1(s.Registry))
 	fmt.Println(analysis.RenderTable2())
 	fmt.Println(analysis.RenderTable3())
@@ -164,7 +194,7 @@ func runExport(args []string) error {
 	months := fs.Int("months", 27, "number of study months to simulate")
 	fs.Parse(args)
 
-	s := core.NewStudy()
+	s := newStudy()
 	last := device.StudyStart
 	for i := 1; i < *months; i++ {
 		last = last.Next()
@@ -195,7 +225,7 @@ func runExport(args []string) error {
 }
 
 func runAudit() error {
-	s := core.NewStudy()
+	s := newStudy()
 	s.Clock.AdvanceTo(device.ActiveSnapshot.Start())
 	svc := audit.NewService(s.Network, "audit.iotls.example", device.OperationalCAs(s.Registry.Universe)[0].Pair)
 	for _, dev := range s.Registry.ActiveDevices() {
@@ -207,7 +237,7 @@ func runAudit() error {
 }
 
 func runGuard() error {
-	s := core.NewStudy()
+	s := newStudy()
 	s.Clock.AdvanceTo(device.ActiveSnapshot.Start())
 	g := guard.New(s.Network, guard.DefaultPolicy)
 	uninstall := g.Install()

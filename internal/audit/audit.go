@@ -212,12 +212,14 @@ func NewService(nw *netem.Network, host string, ca certs.KeyPair) *Service {
 			ciphers.TLS_RSA_WITH_RC4_128_SHA,
 		},
 		OCSPStaple: true,
+		Telemetry:  nw.Telemetry(),
 	}
 	nw.Listen(host, 443, func(conn net.Conn, meta netem.ConnMeta) {
 		res := tlssim.Serve(conn, cfg)
 		if res.ClientHello == nil {
 			return
 		}
+		nw.Telemetry().Counter("audit.grades").Inc()
 		adv := Grade(meta.SrcHost, res.ClientHello)
 		svc.mu.Lock()
 		svc.advisories[meta.SrcHost] = adv

@@ -17,6 +17,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fingerprint"
 	"repro/internal/netem"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -92,12 +93,30 @@ func (o *Observation) EstablishedStrong() bool {
 // Store accumulates observations and revocation events.
 type Store struct {
 	mu  sync.Mutex
+	tel *telemetry.Registry
 	obs []*Observation
 	rev []RevocationEvent
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{} }
+
+// SetTelemetry attaches a metrics registry; the store then counts
+// observations, revocation events and export throughput. A nil
+// registry (the default) disables counting.
+func (s *Store) SetTelemetry(r *telemetry.Registry) {
+	s.mu.Lock()
+	s.tel = r
+	s.mu.Unlock()
+}
+
+// Telemetry returns the attached registry (possibly nil; nil registries
+// accept all instrument calls as no-ops).
+func (s *Store) Telemetry() *telemetry.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tel
+}
 
 // Add appends an observation.
 func (s *Store) Add(o *Observation) {
@@ -107,7 +126,20 @@ func (s *Store) Add(o *Observation) {
 	o.Month = clock.MonthOf(o.Time)
 	s.mu.Lock()
 	s.obs = append(s.obs, o)
+	tel := s.tel
 	s.mu.Unlock()
+
+	tel.Counter("capture.observations").Inc()
+	tel.Counter("capture.weighted_conns").Add(int64(o.Weight))
+	if o.Established {
+		tel.Counter("capture.observations.established").Inc()
+	}
+	if o.ClientAlert != nil {
+		tel.Counter("capture.alerts.client." + o.ClientAlert.Description.String()).Inc()
+	}
+	if o.ServerAlert != nil {
+		tel.Counter("capture.alerts.server." + o.ServerAlert.Description.String()).Inc()
+	}
 }
 
 // All returns a snapshot of every observation.
@@ -241,7 +273,10 @@ type RevocationEvent struct {
 func (s *Store) AddRevocation(e RevocationEvent) {
 	s.mu.Lock()
 	s.rev = append(s.rev, e)
+	tel := s.tel
 	s.mu.Unlock()
+	tel.Counter("capture.revocations").Inc()
+	tel.Counter("capture.revocations." + e.Kind.String()).Inc()
 }
 
 // Revocations returns all revocation events.

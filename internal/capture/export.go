@@ -64,7 +64,8 @@ func toJSON(o *Observation) observationJSON {
 // WriteJSONL exports every observation as one JSON object per line and
 // returns the number of records written.
 func WriteJSONL(w io.Writer, s *Store) (int, error) {
-	enc := json.NewEncoder(w)
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
 	n := 0
 	for _, o := range s.All() {
 		if err := enc.Encode(toJSON(o)); err != nil {
@@ -72,13 +73,29 @@ func WriteJSONL(w io.Writer, s *Store) (int, error) {
 		}
 		n++
 	}
+	tel := s.Telemetry()
+	tel.Counter("capture.export.records").Add(int64(n))
+	tel.Counter("capture.export.bytes").Add(cw.n)
 	return n, nil
+}
+
+// countingWriter tracks export throughput for telemetry.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // WriteCSV exports a flat summary (one row per observation) and returns
 // the number of data rows written.
 func WriteCSV(w io.Writer, s *Store) (int, error) {
-	cw := csv.NewWriter(w)
+	counting := &countingWriter{w: w}
+	cw := csv.NewWriter(counting)
 	header := []string{"device", "host", "month", "weight", "established",
 		"advertised_max", "negotiated_version", "negotiated_suite",
 		"advertises_insecure", "established_strong", "client_alert", "fingerprint"}
@@ -109,5 +126,8 @@ func WriteCSV(w io.Writer, s *Store) (int, error) {
 		n++
 	}
 	cw.Flush()
+	tel := s.Telemetry()
+	tel.Counter("capture.export.records").Add(int64(n))
+	tel.Counter("capture.export.bytes").Add(counting.n)
 	return n, cw.Error()
 }

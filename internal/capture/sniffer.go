@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/netem"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -14,6 +15,7 @@ import (
 // deliver whatever chunks the transport produced.
 type sniffer struct {
 	collector *Collector
+	tel       *telemetry.Registry
 	meta      netem.ConnMeta
 
 	mu        sync.Mutex
@@ -23,11 +25,15 @@ type sniffer struct {
 	// ccsFromServer tracks establishment: the server sends CCS only
 	// after validating the client's Finished.
 	ccsFromServer bool
+	// poisoned remembers that a desynchronised direction was already
+	// counted, so the counter moves once per stream.
+	poisonedC2S, poisonedS2C bool
 }
 
 func newSniffer(c *Collector, meta netem.ConnMeta) *sniffer {
 	return &sniffer{
 		collector: c,
+		tel:       c.Store.Telemetry(),
 		meta:      meta,
 		obs: &Observation{
 			Device: meta.SrcHost,
@@ -45,6 +51,10 @@ func (s *sniffer) ClientBytes(p []byte) {
 	for _, rec := range s.c2s.feed(p) {
 		s.onRecord(rec, true)
 	}
+	if s.c2s.dead && !s.poisonedC2S {
+		s.poisonedC2S = true
+		s.tel.Counter("capture.streams.poisoned").Inc()
+	}
 }
 
 // ServerBytes implements netem.Mirror.
@@ -53,6 +63,10 @@ func (s *sniffer) ServerBytes(p []byte) {
 	defer s.mu.Unlock()
 	for _, rec := range s.s2c.feed(p) {
 		s.onRecord(rec, false)
+	}
+	if s.s2c.dead && !s.poisonedS2C {
+		s.poisonedS2C = true
+		s.tel.Counter("capture.streams.poisoned").Inc()
 	}
 }
 
@@ -70,6 +84,7 @@ func (s *sniffer) CloseMirror() {
 
 // onRecord dissects one reassembled record.
 func (s *sniffer) onRecord(rec wire.Record, fromClient bool) {
+	s.tel.Counter("capture.records").Inc()
 	switch rec.Type {
 	case wire.TypeHandshake:
 		rest := rec.Payload

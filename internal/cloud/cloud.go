@@ -92,6 +92,7 @@ func (c *Cloud) addServer(host string, profile device.ServerProfile) {
 		Chain:      []*certs.Certificate{leaf.Cert, c.CA.Cert},
 		Key:        leaf,
 		OCSPStaple: true,
+		Telemetry:  c.Network.Telemetry(),
 	}
 	switch profile {
 	case device.SrvModernPFS:
@@ -214,6 +215,7 @@ func (c *Cloud) registerResponders() {
 		c.revMu.Lock()
 		c.ocspHits[meta.SrcHost]++
 		c.revMu.Unlock()
+		c.Network.Telemetry().Counter("cloud.ocsp_hits").Inc()
 		conn.Write([]byte("OCSP-GOOD\n"))
 	})
 	c.Network.Listen(CRLHost, 80, func(conn net.Conn, meta netem.ConnMeta) {
@@ -227,6 +229,7 @@ func (c *Cloud) registerResponders() {
 		c.revMu.Lock()
 		c.crlHits[meta.SrcHost]++
 		c.revMu.Unlock()
+		c.Network.Telemetry().Counter("cloud.crl_hits").Inc()
 		conn.Write([]byte("CRL-EMPTY\n"))
 	})
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mitm"
 	"repro/internal/netem"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -35,6 +36,11 @@ type Study struct {
 	Collector *capture.Collector
 	Proxy     *mitm.Proxy
 	Prober    *probe.Prober
+
+	// Telemetry is the testbed-wide metrics registry. Every layer
+	// (netem, tlssim, capture, mitm, probe, traffic) reports into it;
+	// snapshot it at any point via MetricsSnapshot.
+	Telemetry *telemetry.Registry
 }
 
 // NewStudy builds a fresh testbed with the gateway mirror armed.
@@ -44,6 +50,7 @@ func NewStudy() *Study {
 	reg := device.NewRegistry(clk)
 	cl := cloud.New(nw, reg)
 	store := capture.NewStore()
+	store.SetTelemetry(nw.Telemetry())
 	col := capture.NewCollector(store)
 	nw.SetMirror(col.Mirror)
 	proxy := mitm.NewProxy(nw, reg.Universe)
@@ -56,7 +63,19 @@ func NewStudy() *Study {
 		Collector: col,
 		Proxy:     proxy,
 		Prober:    probe.New(proxy, reg),
+		Telemetry: nw.Telemetry(),
 	}
+}
+
+// MetricsSnapshot captures the current value of every instrument in the
+// testbed.
+func (s *Study) MetricsSnapshot() *telemetry.Snapshot { return s.Telemetry.Snapshot() }
+
+// phaseSpan opens a study-phase span and counts the phase start; the
+// derived counters appear as span.phase.<name>.<status>.
+func (s *Study) phaseSpan(name string) *telemetry.Span {
+	s.Telemetry.Counter("core.phase." + name).Inc()
+	return s.Telemetry.StartSpan("phase." + name)
 }
 
 // NameOf maps a device ID to its display name.
@@ -69,8 +88,18 @@ func (s *Study) NameOf(id string) string {
 
 // RunPassive simulates the full two-year passive collection.
 func (s *Study) RunPassive() (*traffic.Stats, error) {
+	return s.RunPassiveWindow(device.StudyStart, device.StudyEnd)
+}
+
+// RunPassiveWindow simulates the passive collection over a custom
+// month window (a cheap subset of RunPassive for smoke runs and the
+// metrics subcommand).
+func (s *Study) RunPassiveWindow(from, to clock.Month) (*traffic.Stats, error) {
+	sp := s.phaseSpan("passive")
 	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
-	return gen.RunStudy()
+	stats, err := gen.Run(from, to)
+	sp.EndErr(err)
+	return stats, err
 }
 
 // advanceToActiveWindow moves the virtual clock to the 2021 snapshot.
@@ -86,7 +115,9 @@ func (s *Study) advanceToActiveWindow() {
 // behind the fingerprinting analysis (§5.3).
 func (s *Study) CaptureActiveSnapshot() (*capture.Store, error) {
 	s.advanceToActiveWindow()
+	sp := s.phaseSpan("active_capture")
 	store := capture.NewStore()
+	store.SetTelemetry(s.Telemetry)
 	col := capture.NewCollector(store)
 	s.Network.SetMirror(col.Mirror)
 	defer s.Network.SetMirror(s.Collector.Mirror)
@@ -99,16 +130,20 @@ func (s *Study) CaptureActiveSnapshot() (*capture.Store, error) {
 	deadline := time.Now().Add(10 * time.Second)
 	for store.Len() < expected {
 		if time.Now().After(deadline) {
+			sp.End("lagging")
 			return store, fmt.Errorf("core: active capture lagging: %d/%d", store.Len(), expected)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	sp.End("ok")
 	return store, nil
 }
 
 // RunInterceptionSuite attacks every active device (Table 7).
 func (s *Study) RunInterceptionSuite() []*mitm.InterceptionReport {
 	s.advanceToActiveWindow()
+	sp := s.phaseSpan("interception")
+	defer sp.End("ok")
 	var out []*mitm.InterceptionReport
 	for _, dev := range s.Registry.ActiveDevices() {
 		out = append(out, s.Proxy.RunInterception(dev))
@@ -120,6 +155,8 @@ func (s *Study) RunInterceptionSuite() []*mitm.InterceptionReport {
 // (Table 5).
 func (s *Study) RunDowngradeSuite() []*mitm.DowngradeReport {
 	s.advanceToActiveWindow()
+	sp := s.phaseSpan("downgrade")
+	defer sp.End("ok")
 	var out []*mitm.DowngradeReport
 	for _, dev := range s.Registry.ActiveDevices() {
 		out = append(out, s.Proxy.RunDowngrade(dev))
@@ -131,6 +168,8 @@ func (s *Study) RunDowngradeSuite() []*mitm.DowngradeReport {
 // device (Table 6).
 func (s *Study) RunOldVersionSuite() []*mitm.OldVersionReport {
 	s.advanceToActiveWindow()
+	sp := s.phaseSpan("old_version")
+	defer sp.End("ok")
 	var out []*mitm.OldVersionReport
 	for _, dev := range s.Registry.ActiveDevices() {
 		out = append(out, mitm.RunOldVersionCheck(s.Network, s.Cloud, dev))
@@ -142,6 +181,8 @@ func (s *Study) RunOldVersionSuite() []*mitm.OldVersionReport {
 // active device (§4.2).
 func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 	s.advanceToActiveWindow()
+	sp := s.phaseSpan("passthrough")
+	defer sp.End("ok")
 	var out []*mitm.PassthroughReport
 	for _, dev := range s.Registry.ActiveDevices() {
 		out = append(out, s.Proxy.RunPassthrough(dev))
@@ -153,7 +194,10 @@ func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 // Figure 4).
 func (s *Study) RunProbe() (amenable []*probe.Report, candidates int, err error) {
 	s.advanceToActiveWindow()
-	return s.Prober.ExploreAll()
+	sp := s.phaseSpan("probe")
+	amenable, candidates, err = s.Prober.ExploreAll()
+	sp.EndErr(err)
+	return amenable, candidates, err
 }
 
 // Report is the full set of computed artifacts.
@@ -182,6 +226,8 @@ type Report struct {
 // RunAll executes the complete study: passive collection, every active
 // experiment, the probe, and all analyses.
 func (s *Study) RunAll() (*Report, error) {
+	sp := s.phaseSpan("all")
+	defer func() { sp.End("done") }()
 	rep := &Report{}
 	var err error
 	if rep.PassiveStats, err = s.RunPassive(); err != nil {

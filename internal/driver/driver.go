@@ -48,10 +48,13 @@ type Outcome struct {
 // fallback behaviour. seq seeds the hello randoms.
 func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m clock.Month, seq uint64) Outcome {
 	out := Outcome{Device: dev.ID, Host: dst.Host, Port: 443, Month: m}
+	tel := nw.Telemetry()
+	tel.Counter("driver.connects").Inc()
 
 	cfg := dev.ConfigAt(dst.Slot, m)
 	cfg.AuxDialer = nw.Dial
 	cfg.SrcHost = dev.ID
+	cfg.Telemetry = tel
 
 	sess, err := dialAndHandshake(nw, dev, dst, cfg, seq)
 	if err == nil {
@@ -68,8 +71,10 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 		return out
 	}
 	out.UsedFallback = true
+	tel.Counter("driver.fallbacks").Inc()
 	fbCfg.AuxDialer = nw.Dial
 	fbCfg.SrcHost = dev.ID
+	fbCfg.Telemetry = tel
 	sess, err = dialAndHandshake(nw, dev, dst, fbCfg, seq+1)
 	if err != nil {
 		out.Err = err
@@ -77,6 +82,7 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 	}
 	out.FallbackEstablished = true
 	out.Err = nil
+	tel.Counter("driver.fallbacks.established").Inc()
 	finish(&out, sess, dev, dst)
 	return out
 }
@@ -88,6 +94,7 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 // TrafficPassthrough finding (§4.2: ≈20.4% additional hostnames once
 // previously-intercepted connections are allowed through).
 func Boot(nw *netem.Network, dev *device.Device, m clock.Month, seq uint64) []Outcome {
+	nw.Telemetry().Counter("driver.boots").Inc()
 	for i := range dev.Slots {
 		dev.ConfigAt(i, m).ResetState()
 	}

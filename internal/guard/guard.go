@@ -136,6 +136,7 @@ func (g *Guard) relay(deviceConn net.Conn, meta netem.ConnMeta) {
 	g.mu.Lock()
 	g.relayed++
 	g.mu.Unlock()
+	g.nw.Telemetry().Counter("guard.relayed").Inc()
 	upstream, err := g.nw.Dial(guardSource, meta.DstHost, meta.DstPort)
 	if err != nil {
 		return
@@ -153,6 +154,7 @@ func (g *Guard) relay(deviceConn net.Conn, meta netem.ConnMeta) {
 			})
 			g.blocked++
 			g.mu.Unlock()
+			g.nw.Telemetry().Counter("guard.blocked").Inc()
 			deviceConn.Close()
 			upstream.Close()
 		})

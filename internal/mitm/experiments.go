@@ -2,6 +2,7 @@ package mitm
 
 import (
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/certs"
@@ -382,7 +383,11 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 	report := &PassthroughReport{Device: dev.ID}
 
 	// Phase 1: intercept everything from the device with self-signed
-	// certificates; note which hosts failed.
+	// certificates; note which hosts failed. The maps are shared between
+	// the tap selector (the dialer's goroutine) and the per-connection
+	// handler goroutines, which can outlive the client side of a failed
+	// handshake — so every access takes the mutex.
+	var mu sync.Mutex
 	seen := make(map[string]bool)
 	failed := make(map[string]bool)
 	done := make(chan ConnRecord, 256)
@@ -391,12 +396,16 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 			return nil
 		}
 		host := meta.DstHost
+		mu.Lock()
 		seen[host] = true
+		mu.Unlock()
 		chain, key := p.chainFor(AttackNoValidation, host, nil)
 		return func(conn net.Conn, meta netem.ConnMeta) {
 			rec := p.serveAttack(AttackNoValidation, host, chain, key, conn)
 			if !rec.Intercepted {
+				mu.Lock()
 				failed[host] = true
+				mu.Unlock()
 			}
 			done <- rec
 		}
@@ -404,9 +413,11 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 	driver.Boot(p.nw, dev, device.ActiveSnapshot, 1)
 	collect(done)
 	p.nw.SetTap(nil)
+	mu.Lock()
 	for h := range seen {
 		report.AttackHosts = append(report.AttackHosts, h)
 	}
+	mu.Unlock()
 
 	// Phase 2: passthrough — previously-failed hosts go to the real
 	// servers; others stay intercepted.
@@ -416,8 +427,11 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 			return nil
 		}
 		host := meta.DstHost
+		mu.Lock()
 		seen2[host] = true
-		if failed[host] {
+		passThrough := failed[host]
+		mu.Unlock()
+		if passThrough {
 			return nil // pass through
 		}
 		chain, key := p.chainFor(AttackNoValidation, host, nil)
@@ -429,11 +443,13 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 	collect(done)
 	p.nw.SetTap(nil)
 
+	mu.Lock()
 	for h := range seen2 {
 		report.PassthroughHosts = append(report.PassthroughHosts, h)
 		if !seen[h] {
 			report.NewHosts = append(report.NewHosts, h)
 		}
 	}
+	mu.Unlock()
 	return report
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/netem"
 	"repro/internal/rootstore"
+	"repro/internal/telemetry"
 	"repro/internal/tlssim"
 	"repro/internal/wire"
 )
@@ -105,6 +106,10 @@ func NewProxy(nw *netem.Network, u *rootstore.Universe) *Proxy {
 	}, "mitm-legit-leaf")
 	return p
 }
+
+// Telemetry exposes the testbed registry the proxy reports into (the
+// network's), for the experiment layers built on the proxy.
+func (p *Proxy) Telemetry() *telemetry.Registry { return p.nw.Telemetry() }
 
 // chainFor builds the presented chain and key for an attack on host.
 // spoofTarget is used only by AttackSpoofedCA.
@@ -200,9 +205,13 @@ func (p *Proxy) intercept(attack Attack, srcHost, dstHost string, spoofTarget *c
 
 // serveAttack terminates one hijacked connection.
 func (p *Proxy) serveAttack(attack Attack, host string, chain []*certs.Certificate, key certs.KeyPair, conn net.Conn) ConnRecord {
+	tel := p.nw.Telemetry()
+	tel.Counter("mitm.attacks").Inc()
+	tel.Counter("mitm.attacks." + attack.String()).Inc()
 	cfg := &tlssim.ServerConfig{
 		Chain:      chain,
 		Key:        key,
+		Telemetry:  tel,
 		MinVersion: ciphers.SSL30,
 		MaxVersion: ciphers.TLS13,
 		CipherSuites: []ciphers.Suite{
@@ -222,9 +231,12 @@ func (p *Proxy) serveAttack(attack Attack, host string, chain []*certs.Certifica
 	rec := ConnRecord{Attack: attack, Host: host, Hello: res.ClientHello, ClientAlert: res.ClientAlert}
 	if res.Err != nil {
 		rec.FailureClass = res.Err.Class
+		tel.Counter("mitm.defended").Inc()
+		tel.Counter("mitm.defended." + res.Err.Class.String()).Inc()
 		return rec
 	}
 	rec.Intercepted = true
+	tel.Counter("mitm.intercepted").Inc()
 	sess := res.Session
 	defer sess.Close()
 	sess.Conn.Conn.SetDeadline(time.Now().Add(250 * time.Millisecond))
@@ -232,6 +244,9 @@ func (p *Proxy) serveAttack(attack Attack, host string, chain []*certs.Certifica
 	n, err := sess.Conn.Read(buf)
 	if err == nil {
 		rec.Payload = string(buf[:n])
+		if SensitivePayload(rec.Payload) {
+			tel.Counter("mitm.payload.sensitive").Inc()
+		}
 		// Answer so the device finishes its exchange cleanly.
 		fmt.Fprintf(sess.Conn, "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
 	}

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 )
 
 // ConnMeta describes one connection crossing the gateway.
@@ -77,6 +79,7 @@ type Impairment struct {
 // gateway in the middle, and cloud services on the other.
 type Network struct {
 	clk clock.Clock
+	tel *telemetry.Registry
 
 	mu         sync.RWMutex
 	listeners  map[string]Handler
@@ -87,10 +90,17 @@ type Network struct {
 	dropped    int
 }
 
-// New creates an empty network observing time through clk.
+// New creates an empty network observing time through clk. The network
+// carries the testbed's telemetry registry (reading virtual time from
+// the same clock); every layer that holds a *Network reaches its
+// instruments through Telemetry.
 func New(clk clock.Clock) *Network {
-	return &Network{clk: clk, listeners: make(map[string]Handler)}
+	return &Network{clk: clk, tel: telemetry.New(clk), listeners: make(map[string]Handler)}
 }
+
+// Telemetry returns the network's metrics registry, the shared
+// observability surface of one testbed.
+func (n *Network) Telemetry() *telemetry.Registry { return n.tel }
 
 // ErrNoRoute is returned by Dial when no listener serves the destination.
 var ErrNoRoute = errors.New("netem: no route to host")
@@ -176,20 +186,26 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 	}
 	n.mu.Unlock()
 
+	n.tel.Counter("netem.dials").Inc()
+	n.tel.Counter("netem.endpoint." + meta.Addr()).Inc()
+
 	if imp.DialDelay > 0 {
 		time.Sleep(imp.DialDelay)
 	}
 	if drop {
+		n.tel.Counter("netem.dials.dropped").Inc()
 		handler = blackHole
 		tap = nil
 	}
 
 	if tap != nil {
 		if h := tap(meta); h != nil {
+			n.tel.Counter("netem.dials.tapped").Inc()
 			handler = h
 		}
 	}
 	if handler == nil {
+		n.tel.Counter("netem.dials.no_route").Inc()
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, meta.Addr())
 	}
 
@@ -199,7 +215,8 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 
 	if mirror != nil {
 		if m := mirror(meta); m != nil {
-			client = newMirroredConn(client, m)
+			n.tel.Counter("netem.mirror.conns").Inc()
+			client = newMirroredConn(client, m, n.tel)
 		}
 	}
 
@@ -227,17 +244,24 @@ func (c *addrConn) RemoteAddr() net.Addr { return c.remote }
 type mirroredConn struct {
 	net.Conn
 	mirror Mirror
+	tel    *telemetry.Registry
 	once   sync.Once
+
+	clientBytes atomic.Int64
+	serverBytes atomic.Int64
 }
 
-func newMirroredConn(c net.Conn, m Mirror) *mirroredConn {
-	return &mirroredConn{Conn: c, mirror: m}
+func newMirroredConn(c net.Conn, m Mirror, tel *telemetry.Registry) *mirroredConn {
+	return &mirroredConn{Conn: c, mirror: m, tel: tel}
 }
 
 func (c *mirroredConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	if n > 0 {
 		c.mirror.ServerBytes(p[:n])
+		c.serverBytes.Add(int64(n))
+		c.tel.Counter("netem.mirror.frames").Inc()
+		c.tel.Counter("netem.mirror.server_bytes").Add(int64(n))
 	}
 	return n, err
 }
@@ -246,12 +270,19 @@ func (c *mirroredConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	if n > 0 {
 		c.mirror.ClientBytes(p[:n])
+		c.clientBytes.Add(int64(n))
+		c.tel.Counter("netem.mirror.frames").Inc()
+		c.tel.Counter("netem.mirror.client_bytes").Add(int64(n))
 	}
 	return n, err
 }
 
 func (c *mirroredConn) Close() error {
 	err := c.Conn.Close()
-	c.once.Do(c.mirror.CloseMirror)
+	c.once.Do(func() {
+		c.mirror.CloseMirror()
+		c.tel.Histogram("netem.conn.client_bytes", telemetry.SizeBuckets).Observe(c.clientBytes.Load())
+		c.tel.Histogram("netem.conn.server_bytes", telemetry.SizeBuckets).Observe(c.serverBytes.Load())
+	})
 	return err
 }

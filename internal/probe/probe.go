@@ -143,6 +143,8 @@ func (p *Prober) repeats() int {
 // CA. The device is amenable when both trials produce alerts and the
 // alerts differ.
 func (p *Prober) Calibrate(dev *device.Device) (amenable bool, badSig, unknown wire.AlertDescription, err error) {
+	tel := p.Proxy.Telemetry()
+	tel.Counter("probe.calibrations").Inc()
 	dst, ok := dev.ProbeDestination()
 	if !ok {
 		return false, 0, 0, fmt.Errorf("probe: %s has no boot destination", dev.ID)
@@ -168,6 +170,9 @@ func (p *Prober) Calibrate(dev *device.Device) (amenable bool, badSig, unknown w
 // one spoofed-CA trial per certificate in the common and deprecated
 // sets.
 func (p *Prober) Explore(dev *device.Device) (*Report, error) {
+	tel := p.Proxy.Telemetry()
+	sp := tel.StartSpan("probe.explore")
+	defer sp.End("ok")
 	report := &Report{Device: dev.ID}
 	amenable, badSig, unknown, err := p.Calibrate(dev)
 	if err != nil {
@@ -177,6 +182,7 @@ func (p *Prober) Explore(dev *device.Device) (*Report, error) {
 	if !amenable {
 		return report, nil
 	}
+	tel.Counter("probe.amenable").Inc()
 	report.BadSignatureAlert = badSig
 	report.UnknownCAAlert = unknown
 
@@ -192,6 +198,8 @@ func (p *Prober) Explore(dev *device.Device) (*Report, error) {
 			if !dev.ProbeConclusive(c) {
 				// The device did not generate traffic on this reboot —
 				// the §5.2 "inconclusive" case.
+				tel.Counter("probe.trials").Inc()
+				tel.Counter("probe.verdicts." + VerdictInconclusive.String()).Inc()
 				trials = append(trials, trial)
 				continue
 			}
@@ -223,6 +231,8 @@ func (p *Prober) Explore(dev *device.Device) (*Report, error) {
 			default:
 				trial.Verdict = VerdictInconclusive
 			}
+			tel.Counter("probe.trials").Inc()
+			tel.Counter("probe.verdicts." + trial.Verdict.String()).Inc()
 			trials = append(trials, trial)
 		}
 		return trials

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseEvent is one named point inside a span, stamped with virtual
+// time.
+type PhaseEvent struct {
+	Name string    `json:"name"`
+	At   time.Time `json:"at"`
+}
+
+// SpanRecord is a finished span as retained by the registry and
+// surfaced in snapshots. Start/End and phase stamps are virtual time;
+// WallDur is the real elapsed time (nondeterministic across runs).
+type SpanRecord struct {
+	Seq     uint64        `json:"seq"`
+	Name    string        `json:"name"`
+	Status  string        `json:"status"`
+	Start   time.Time     `json:"start"`
+	End     time.Time     `json:"end"`
+	WallDur time.Duration `json:"wall_ns"`
+	Phases  []PhaseEvent  `json:"phases,omitempty"`
+}
+
+// Span traces one operation — a TLS handshake through its protocol
+// stages, or a study phase through its experiments — against the
+// registry's (virtual) clock. Spans are cheap: a timestamp at start,
+// one per phase mark, and a counter + two histogram observations at
+// End. A nil *Span (from a nil registry) ignores every call.
+type Span struct {
+	reg       *Registry
+	name      string
+	virtStart time.Time
+	wallStart time.Time
+
+	mu     sync.Mutex
+	phases []PhaseEvent
+	ended  bool
+}
+
+// StartSpan begins a span. The returned span must be finished with End
+// (or EndErr); an unfinished span is simply never recorded.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, virtStart: r.Now(), wallStart: time.Now()}
+}
+
+// Phase marks a named stage boundary at the current virtual time.
+func (s *Span) Phase(name string) {
+	if s == nil {
+		return
+	}
+	at := s.reg.Now()
+	s.mu.Lock()
+	if !s.ended {
+		s.phases = append(s.phases, PhaseEvent{Name: name, At: at})
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span with the given status (conventionally "ok" or a
+// failure-class string). It increments span.<name>.<status>, observes
+// the virtual and wall durations, and retains the record for the
+// inspector. Calling End more than once is a no-op after the first.
+func (s *Span) End(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	phases := s.phases
+	s.mu.Unlock()
+
+	virtEnd := s.reg.Now()
+	wallDur := time.Since(s.wallStart)
+	s.reg.Counter("span." + s.name + "." + status).Inc()
+	s.reg.Histogram("span."+s.name+".virtual_us", DurationBucketsUS).Observe(virtEnd.Sub(s.virtStart).Microseconds())
+	s.reg.Histogram("span."+s.name+".wall_us", DurationBucketsUS).Observe(wallDur.Microseconds())
+	s.reg.retain(SpanRecord{
+		Name:    s.name,
+		Status:  status,
+		Start:   s.virtStart,
+		End:     virtEnd,
+		WallDur: wallDur,
+		Phases:  phases,
+	})
+}
+
+// EndErr finishes the span with "ok" when err is nil and "error"
+// otherwise.
+func (s *Span) EndErr(err error) {
+	if err != nil {
+		s.End("error")
+		return
+	}
+	s.End("ok")
+}

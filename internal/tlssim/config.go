@@ -10,6 +10,7 @@ import (
 	"repro/internal/certs"
 	"repro/internal/ciphers"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -127,6 +128,12 @@ type ClientConfig struct {
 
 	// Clock provides verification time. Defaults to clock.Real.
 	Clock clock.Clock
+
+	// Telemetry, when set, receives handshake outcome counters, the
+	// per-library alert taxonomy, and a span tracing the handshake
+	// phases. Nil disables instrumentation (a nil registry is a no-op,
+	// so the field may also be left nil-safe by callers).
+	Telemetry *telemetry.Registry
 
 	// HandshakeTimeout bounds the wait for each server flight; an
 	// expired timeout is classified as an incomplete handshake.
@@ -296,6 +303,10 @@ type ServerConfig struct {
 	// HandshakeTimeout bounds the wait for each client flight.
 	// Defaults to 250ms.
 	HandshakeTimeout time.Duration
+
+	// Telemetry, when set, receives server-side handshake outcome
+	// counters and spans. Nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 func (c *ServerConfig) timeout() time.Duration {

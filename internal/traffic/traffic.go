@@ -50,7 +50,9 @@ func (g *Generator) RunStudy() (*Stats, error) {
 func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 	stats := &Stats{}
 	store := g.Collector.Store
+	tel := g.Network.Telemetry()
 	for m := first; !last.Before(m); m = m.Next() {
+		sp := tel.StartSpan("traffic.month")
 		// Mid-month timestamp so observations land in the right bucket.
 		if t := m.Start().Add(14 * 24 * time.Hour); t.After(g.Clock.Now()) {
 			g.Clock.AdvanceTo(t)
@@ -65,12 +67,17 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 				out := driver.Connect(g.Network, dev, dst, m, g.seq)
 				stats.Handshakes++
 				stats.WeightedConns += dst.MonthlyConns
+				tel.Counter("traffic.handshakes").Inc()
+				tel.Counter("traffic.weighted_conns").Add(int64(dst.MonthlyConns))
 				if !out.Established {
 					stats.FailedConnects++
+					tel.Counter("traffic.failed_connects").Inc()
 				}
 			}
 		}
 		stats.Months++
+		tel.Counter("traffic.months").Inc()
+		sp.End("ok")
 	}
 
 	// The sniffers publish asynchronously on connection close; wait for
