@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build test race vet bench-telemetry clean
+.PHONY: check build test race race-parallel vet bench bench-telemetry clean
 
-# check is the full verification gate: vet, build, and the test suite
-# under the race detector.
-check: vet build race
+# check is the full verification gate: vet, build, the test suite under
+# the race detector, and the parallel-study workload under the race
+# detector at eight workers.
+check: vet build race race-parallel
 
 build:
 	$(GO) build ./...
@@ -17,6 +18,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-parallel drives every concurrent engine path — pooled
+# handshakes, sharded capture, verify caching, stacked taps — at eight
+# workers under the race detector.
+race-parallel:
+	$(GO) test -race -run TestParallelStudyRace -count=1 ./internal/core/
+
+# bench measures the full study sequential vs parallel (in-memory and
+# with simulated 5ms connection-setup latency) and writes
+# BENCH_study.json.
+bench:
+	$(GO) test ./internal/core/ -run TestEmitStudyBench -count=1 -timeout 30m \
+		-study.benchout=$(CURDIR)/BENCH_study.json
 
 # bench-telemetry runs the full study through `iotls metrics report`
 # and captures the deterministic telemetry report.

@@ -16,10 +16,15 @@ import (
 // the run in progress.
 var debugStudy atomic.Pointer[core.Study]
 
+// studyParallelism is the global -parallel flag value applied to every
+// study the process builds.
+var studyParallelism int
+
 // newStudy builds the testbed and registers it with the debug
 // inspector. All subcommands construct their study through this.
 func newStudy() *core.Study {
 	s := core.NewStudy()
+	s.Parallelism = studyParallelism
 	debugStudy.Store(s)
 	return s
 }

@@ -13,12 +13,17 @@
 //	iotls guard              boot all devices behind the gateway guard and report blocks (§6)
 //	iotls metrics [PHASE]    run a phase (default: report) and print the JSON telemetry report
 //
+// The global -parallel flag (before the subcommand) sets the worker
+// count for every parallelisable study phase (0, the default, means
+// GOMAXPROCS; 1 forces the sequential engine). Every value renders
+// byte-identical artifacts.
+//
 // The global -debug-addr flag (before the subcommand) serves a live
 // runtime inspector — expvar at /debug/vars (including the study's
 // telemetry snapshot) and pprof at /debug/pprof/ — while the study
 // runs:
 //
-//	iotls -debug-addr :8080 report
+//	iotls -parallel 8 -debug-addr :8080 report
 package main
 
 import (
@@ -41,7 +46,9 @@ func main() {
 	global := flag.NewFlagSet("iotls", flag.ExitOnError)
 	global.Usage = usage
 	debugAddr := global.String("debug-addr", "", "serve expvar and pprof on this address while the study runs")
+	parallel := global.Int("parallel", 0, "worker count for parallel study phases (0 = GOMAXPROCS, 1 = sequential)")
 	global.Parse(os.Args[1:])
+	studyParallelism = *parallel
 	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -105,6 +112,9 @@ commands:
                JSON telemetry report (-o file, -months N)
 
 flags:
+  -parallel N        worker count for parallel study phases
+                     (0 = GOMAXPROCS, 1 = sequential; artifacts are
+                     byte-identical at any value)
   -debug-addr ADDR   serve the live inspector (expvar at /debug/vars,
                      pprof at /debug/pprof/) on ADDR while running`)
 }
@@ -200,6 +210,7 @@ func runExport(args []string) error {
 		last = last.Next()
 	}
 	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
+	gen.Parallelism = s.Parallelism
 	if _, err := gen.Run(device.StudyStart, last); err != nil {
 		return err
 	}

@@ -10,7 +10,11 @@
 package capture
 
 import (
+	"errors"
+	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ciphers"
@@ -90,12 +94,38 @@ func (o *Observation) EstablishedStrong() bool {
 	return o.Established && o.NegotiatedSuite.Strong()
 }
 
-// Store accumulates observations and revocation events.
-type Store struct {
+// storeShards is the number of lock-striped buckets the store spreads
+// devices over. Concurrent sniffers for different devices publish
+// without contending on one mutex.
+const storeShards = 16
+
+// storeShard is one lock-striped observation bucket.
+type storeShard struct {
 	mu  sync.Mutex
-	tel *telemetry.Registry
 	obs []*Observation
+}
+
+// Store accumulates observations and revocation events. Observations
+// are sharded by device-ID hash so concurrent publishes scale; every
+// read-side accessor presents them in a canonical order that is
+// independent of arrival order, which is what keeps parallel and
+// sequential study runs byte-identical downstream.
+type Store struct {
+	mu  sync.Mutex // guards tel and rev
+	tel *telemetry.Registry
 	rev []RevocationEvent
+
+	shards [storeShards]storeShard
+	count  atomic.Int64
+	// gen counts completed Adds; sorted caches the canonical snapshot
+	// for the generation it was built at.
+	gen    atomic.Int64
+	sorted atomic.Pointer[sortedSnapshot]
+}
+
+type sortedSnapshot struct {
+	gen int64
+	obs []*Observation
 }
 
 // NewStore returns an empty store.
@@ -118,17 +148,30 @@ func (s *Store) Telemetry() *telemetry.Registry {
 	return s.tel
 }
 
+// shardFor hashes a device ID onto its bucket (FNV-1a).
+func shardFor(device string) int {
+	var h uint32 = 2166136261
+	for i := 0; i < len(device); i++ {
+		h ^= uint32(device[i])
+		h *= 16777619
+	}
+	return int(h % storeShards)
+}
+
 // Add appends an observation.
 func (s *Store) Add(o *Observation) {
 	if o.Weight <= 0 {
 		o.Weight = 1
 	}
 	o.Month = clock.MonthOf(o.Time)
-	s.mu.Lock()
-	s.obs = append(s.obs, o)
-	tel := s.tel
-	s.mu.Unlock()
+	sh := &s.shards[shardFor(o.Device)]
+	sh.mu.Lock()
+	sh.obs = append(sh.obs, o)
+	sh.mu.Unlock()
+	s.count.Add(1)
+	s.gen.Add(1)
 
+	tel := s.Telemetry()
 	tel.Counter("capture.observations").Inc()
 	tel.Counter("capture.weighted_conns").Add(int64(o.Weight))
 	if o.Established {
@@ -142,11 +185,28 @@ func (s *Store) Add(o *Observation) {
 	}
 }
 
-// All returns a snapshot of every observation.
+// All returns every observation in canonical order. The returned slice
+// is a shared snapshot: callers must not modify it.
 func (s *Store) All() []*Observation {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]*Observation(nil), s.obs...)
+	if c := s.sorted.Load(); c != nil && c.gen == s.gen.Load() {
+		return c.obs
+	}
+	gen := s.gen.Load()
+	out := make([]*Observation, 0, s.count.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.obs...)
+		sh.mu.Unlock()
+	}
+	sortObservations(out)
+	// Publish the snapshot only if no Add completed while building it;
+	// a stale publish would serve a missing observation until the next
+	// Add bumps the generation.
+	if s.gen.Load() == gen {
+		s.sorted.Store(&sortedSnapshot{gen: gen, obs: out})
+	}
+	return out
 }
 
 // ByDevice returns observations for one device.
@@ -162,9 +222,7 @@ func (s *Store) ByDevice(id string) []*Observation {
 
 // Len reports the number of stored observations (unweighted).
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.obs)
+	return int(s.count.Load())
 }
 
 // TotalWeight reports the weighted connection count.
@@ -178,17 +236,46 @@ func (s *Store) TotalWeight() int {
 
 // Collector wires the store into a netem gateway: it is a MirrorFactory
 // whose sniffers publish observations on connection close. Weights are
-// announced by the traffic generator before each dial.
+// announced by the traffic generator before each dial. The collector
+// tracks every mirror it hands out and is signalled when each closes,
+// so WaitIdle gives the study a real completion barrier instead of
+// polling the store.
 type Collector struct {
 	Store *Store
 
 	mu         sync.Mutex
 	nextWeight map[string]int // "src->host:port" -> weight
+
+	wg      sync.WaitGroup
+	created atomic.Int64
+	closed  atomic.Int64
 }
 
 // NewCollector builds a collector around a store.
 func NewCollector(store *Store) *Collector {
 	return &Collector{Store: store, nextWeight: make(map[string]int)}
+}
+
+// ErrCaptureLagging reports that mirrored connections were still open
+// when a completion barrier timed out.
+var ErrCaptureLagging = errors.New("capture lagging")
+
+// WaitIdle blocks until every mirror handed out so far has closed (the
+// sniffers have published), or the timeout expires. Callers must not
+// race WaitIdle with new dials. On timeout the returned error wraps
+// ErrCaptureLagging with the closed/created mirror counts.
+func (c *Collector) WaitIdle(timeout time.Duration) error {
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("%w: %d/%d mirrors closed", ErrCaptureLagging, c.closed.Load(), c.created.Load())
+	}
 }
 
 // WillDial announces that the next connection from src to host carries
@@ -231,16 +318,37 @@ func itoa(v int) string {
 
 // Mirror implements netem.MirrorFactory. Port-443 connections get a TLS
 // sniffer; port-80 connections get a plaintext sniffer that detects
-// revocation-protocol fetches (Table 8's CRL/OCSP evidence).
+// revocation-protocol fetches (Table 8's CRL/OCSP evidence). Every
+// mirror is wrapped so its close feeds the WaitIdle barrier.
 func (c *Collector) Mirror(meta netem.ConnMeta) netem.Mirror {
+	var m netem.Mirror
 	switch meta.DstPort {
 	case 443:
-		return newSniffer(c, meta)
+		m = newSniffer(c, meta)
 	case 80:
-		return newPlainSniffer(c, meta)
+		m = newPlainSniffer(c, meta)
 	default:
 		return nil
 	}
+	c.wg.Add(1)
+	c.created.Add(1)
+	return &trackedMirror{Mirror: m, c: c}
+}
+
+// trackedMirror signals the collector when the connection closes.
+type trackedMirror struct {
+	netem.Mirror
+	c    *Collector
+	once sync.Once
+}
+
+// CloseMirror implements netem.Mirror.
+func (t *trackedMirror) CloseMirror() {
+	t.Mirror.CloseMirror()
+	t.once.Do(func() {
+		t.c.closed.Add(1)
+		t.c.wg.Done()
+	})
 }
 
 // RevocationKind classifies a revocation fetch.
@@ -279,11 +387,26 @@ func (s *Store) AddRevocation(e RevocationEvent) {
 	tel.Counter("capture.revocations." + e.Kind.String()).Inc()
 }
 
-// Revocations returns all revocation events.
+// Revocations returns all revocation events in canonical order
+// (time, device, host, kind), independent of arrival order.
 func (s *Store) Revocations() []RevocationEvent {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]RevocationEvent(nil), s.rev...)
+	out := append([]RevocationEvent(nil), s.rev...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Kind < b.Kind
+	})
+	return out
 }
 
 // plainSniffer watches a plaintext connection for revocation-protocol

@@ -237,14 +237,15 @@ func TestPlainSnifferRevocation(t *testing.T) {
 	m.ClientBytes([]byte("FETCH issuer=x\n"))
 	m.CloseMirror()
 
+	// Canonical order sorts by host at equal times: crl.* before ocsp.*.
 	evs := store.Revocations()
 	if len(evs) != 2 {
 		t.Fatalf("revocation events = %d", len(evs))
 	}
-	if evs[0].Kind != RevocationOCSP || evs[1].Kind != RevocationCRL {
+	if evs[0].Kind != RevocationCRL || evs[1].Kind != RevocationOCSP {
 		t.Fatalf("kinds = %v, %v", evs[0].Kind, evs[1].Kind)
 	}
-	if evs[0].Kind.String() != "OCSP" || evs[1].Kind.String() != "CRL" {
+	if evs[0].Kind.String() != "CRL" || evs[1].Kind.String() != "OCSP" {
 		t.Fatal("kind names wrong")
 	}
 	// Non-revocation plaintext records nothing.

@@ -1,0 +1,151 @@
+package capture
+
+import (
+	"sort"
+
+	"repro/internal/ciphers"
+	"repro/internal/wire"
+)
+
+// sortObservations orders observations canonically: by time, then
+// endpoint, then every recorded feature. The comparison is a total
+// preorder over all Observation fields, so two observations that
+// compare equal are identical in content and interchangeable — which
+// makes the canonical order independent of publish order and keeps
+// parallel and sequential study runs byte-identical downstream.
+func sortObservations(obs []*Observation) {
+	sort.Slice(obs, func(i, j int) bool {
+		return compareObservations(obs[i], obs[j]) < 0
+	})
+}
+
+// compareObservations returns -1, 0 or 1 ordering a before b.
+func compareObservations(a, b *Observation) int {
+	if c := cmpInt64(a.Time.UnixNano(), b.Time.UnixNano()); c != 0 {
+		return c
+	}
+	if c := cmpString(a.Device, b.Device); c != 0 {
+		return c
+	}
+	if c := cmpString(a.Host, b.Host); c != 0 {
+		return c
+	}
+	if c := cmpInt64(int64(a.Port), int64(b.Port)); c != 0 {
+		return c
+	}
+	if c := cmpInt64(int64(a.Weight), int64(b.Weight)); c != 0 {
+		return c
+	}
+	if c := cmpBool(a.SawClientHello, b.SawClientHello); c != 0 {
+		return c
+	}
+	if c := cmpBool(a.SawServerHello, b.SawServerHello); c != 0 {
+		return c
+	}
+	if c := cmpBool(a.Established, b.Established); c != 0 {
+		return c
+	}
+	if c := cmpString(a.SNI, b.SNI); c != 0 {
+		return c
+	}
+	if c := cmpInt64(int64(a.AdvertisedMax), int64(b.AdvertisedMax)); c != 0 {
+		return c
+	}
+	if c := cmpVersions(a.AdvertisedVersions, b.AdvertisedVersions); c != 0 {
+		return c
+	}
+	if c := cmpSuites(a.AdvertisedSuites, b.AdvertisedSuites); c != 0 {
+		return c
+	}
+	if c := cmpBool(a.RequestedOCSPStaple, b.RequestedOCSPStaple); c != 0 {
+		return c
+	}
+	if c := cmpString(a.Fingerprint.ID(), b.Fingerprint.ID()); c != 0 {
+		return c
+	}
+	if c := cmpInt64(int64(a.NegotiatedVersion), int64(b.NegotiatedVersion)); c != 0 {
+		return c
+	}
+	if c := cmpInt64(int64(a.NegotiatedSuite), int64(b.NegotiatedSuite)); c != 0 {
+		return c
+	}
+	if c := cmpBool(a.StapledOCSP, b.StapledOCSP); c != 0 {
+		return c
+	}
+	if c := cmpAlert(a.ClientAlert, b.ClientAlert); c != 0 {
+		return c
+	}
+	if c := cmpAlert(a.ServerAlert, b.ServerAlert); c != 0 {
+		return c
+	}
+	return cmpInt64(int64(a.AppDataRecords), int64(b.AppDataRecords))
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case !a && b:
+		return -1
+	case a && !b:
+		return 1
+	}
+	return 0
+}
+
+func cmpVersions(a, b []ciphers.Version) int {
+	if c := cmpInt64(int64(len(a)), int64(len(b))); c != 0 {
+		return c
+	}
+	for i := range a {
+		if c := cmpInt64(int64(a[i]), int64(b[i])); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func cmpSuites(a, b []ciphers.Suite) int {
+	if c := cmpInt64(int64(len(a)), int64(len(b))); c != 0 {
+		return c
+	}
+	for i := range a {
+		if c := cmpInt64(int64(a[i]), int64(b[i])); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func cmpAlert(a, b *wire.Alert) int {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil:
+		return -1
+	case b == nil:
+		return 1
+	}
+	if c := cmpInt64(int64(a.Level), int64(b.Level)); c != 0 {
+		return c
+	}
+	return cmpInt64(int64(a.Description), int64(b.Description))
+}

@@ -70,6 +70,16 @@ type Certificate struct {
 
 	PublicKey ed25519.PublicKey
 	Signature []byte
+
+	// tbs caches the to-be-signed encoding and self guards it: the
+	// constructors (NewRootCA, Issue, Spoof, Parse) fill both, after
+	// which the certificate is immutable and the cache is safe to share
+	// across goroutines. The cache is honoured only when self still
+	// points at the certificate itself, so a shallow copy — which the
+	// corruption tests mutate field-by-field — re-encodes from its live
+	// fields instead of serving stale bytes.
+	tbs  []byte
+	self *Certificate
 }
 
 // Fingerprint returns the SHA-256 hash of the full certificate encoding,
@@ -219,7 +229,8 @@ func NewRootCA(subject Name, serial uint64, notBefore, notAfter time.Time, keySe
 		BasicConstraintsValid: true,
 		PublicKey:             pub,
 	}
-	cert.Signature = ed25519.Sign(priv, cert.marshalTBS())
+	cert.tbs, cert.self = cert.encodeTBS(), cert
+	cert.Signature = ed25519.Sign(priv, cert.tbs)
 	return KeyPair{Cert: cert, Key: priv}
 }
 
@@ -242,7 +253,8 @@ func (issuer KeyPair) Issue(tmpl Template, keySeed string) KeyPair {
 		MustStaple:            tmpl.MustStaple,
 		PublicKey:             pub,
 	}
-	cert.Signature = ed25519.Sign(issuer.Key, cert.marshalTBS())
+	cert.tbs, cert.self = cert.encodeTBS(), cert
+	cert.Signature = ed25519.Sign(issuer.Key, cert.tbs)
 	return KeyPair{Cert: cert, Key: priv}
 }
 
@@ -264,7 +276,8 @@ func Spoof(target *Certificate, keySeed string) KeyPair {
 		BasicConstraintsValid: true,
 		PublicKey:             pub,
 	}
-	cert.Signature = ed25519.Sign(priv, cert.marshalTBS())
+	cert.tbs, cert.self = cert.encodeTBS(), cert
+	cert.Signature = ed25519.Sign(priv, cert.tbs)
 	return KeyPair{Cert: cert, Key: priv}
 }
 
@@ -280,8 +293,18 @@ func (c *Certificate) Marshal() []byte {
 	return buf.Bytes()
 }
 
-// marshalTBS serialises the to-be-signed portion.
+// marshalTBS returns the to-be-signed encoding, cached when the
+// certificate came from a constructor. Callers must not modify the
+// returned slice.
 func (c *Certificate) marshalTBS() []byte {
+	if c.tbs != nil && c.self == c {
+		return c.tbs
+	}
+	return c.encodeTBS()
+}
+
+// encodeTBS serialises the to-be-signed portion from the live fields.
+func (c *Certificate) encodeTBS() []byte {
 	var buf bytes.Buffer
 	buf.WriteByte(encodingVersion)
 	writeUint64(&buf, c.SerialNumber)
@@ -337,6 +360,10 @@ func Parse(data []byte) (*Certificate, error) {
 	if r.pos != len(r.data) {
 		return nil, fmt.Errorf("certs: %d trailing bytes", len(r.data)-r.pos)
 	}
+	// The wire bytes are the canonical encoding: everything before the
+	// signature's length prefix is the TBS section.
+	c.tbs = append([]byte(nil), data[:len(data)-2-len(c.Signature)]...)
+	c.self = c
 	return c, nil
 }
 

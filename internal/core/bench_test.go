@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// benchParallelism is the worker count the parallel benchmarks use. A
+// fixed count (rather than GOMAXPROCS) keeps the measurement meaningful
+// on small machines: latency overlap pays off even on one core.
+const benchParallelism = 8
+
+// benchDialDelay is the simulated connection-setup RTT for the
+// *_latency benchmarks. The in-memory testbed collapses the network
+// round-trips a real deployment pays on every TLS connection; adding
+// them back shows the overlap the worker pool buys.
+const benchDialDelay = 5 * time.Millisecond
+
+// benchStudy runs the complete study — passive window, active suites,
+// probe, and report rendering — at the given parallelism.
+func benchStudy(b *testing.B, parallelism int, delay time.Duration) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewStudy()
+		s.Parallelism = parallelism
+		if delay > 0 {
+			s.Network.SetImpairment(netem.Impairment{DialDelay: delay})
+		}
+		rep, err := s.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Render(s) == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkFullStudy compares the sequential engine against the worker
+// pool, both on the raw in-memory transport and with a simulated 5ms
+// connection-setup latency.
+func BenchmarkFullStudy(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { benchStudy(b, 1, 0) })
+	b.Run("parallel", func(b *testing.B) { benchStudy(b, benchParallelism, 0) })
+	b.Run("sequential_latency", func(b *testing.B) { benchStudy(b, 1, benchDialDelay) })
+	b.Run("parallel_latency", func(b *testing.B) { benchStudy(b, benchParallelism, benchDialDelay) })
+}
+
+var studyBenchOut = flag.String("study.benchout", "", "write the full-study benchmark comparison to this JSON file")
+
+// benchEntry is one measured configuration in BENCH_study.json.
+type benchEntry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+func entry(r testing.BenchmarkResult) benchEntry {
+	return benchEntry{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
+}
+
+// TestEmitStudyBench measures the four BenchmarkFullStudy
+// configurations via testing.Benchmark and writes BENCH_study.json.
+// It only runs when -study.benchout is set (`make bench`).
+func TestEmitStudyBench(t *testing.T) {
+	if *studyBenchOut == "" {
+		t.Skip("set -study.benchout to emit BENCH_study.json")
+	}
+	one := func(parallelism int, delay time.Duration) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) { benchStudy(b, parallelism, delay) })
+	}
+	seq := one(1, 0)
+	par := one(benchParallelism, 0)
+	seqLat := one(1, benchDialDelay)
+	parLat := one(benchParallelism, benchDialDelay)
+
+	doc := struct {
+		Schema      string     `json:"schema"`
+		Cores       int        `json:"cores"`
+		Parallelism int        `json:"parallelism"`
+		DialDelayMS int64      `json:"dial_delay_ms"`
+		Sequential  benchEntry `json:"sequential"`
+		Parallel    benchEntry `json:"parallel"`
+		SeqLatency  benchEntry `json:"sequential_latency"`
+		ParLatency  benchEntry `json:"parallel_latency"`
+		// Speedup compares the latency-realistic pair: on multi-core
+		// machines the in-memory pair shows a comparable ratio, while
+		// on a single core only the overlapped network waits pay off.
+		Speedup          float64 `json:"speedup"`
+		SpeedupNoLatency float64 `json:"speedup_no_latency"`
+	}{
+		Schema:           "iotls/bench-study/v1",
+		Cores:            runtime.NumCPU(),
+		Parallelism:      benchParallelism,
+		DialDelayMS:      benchDialDelay.Milliseconds(),
+		Sequential:       entry(seq),
+		Parallel:         entry(par),
+		SeqLatency:       entry(seqLat),
+		ParLatency:       entry(parLat),
+		Speedup:          float64(seqLat.NsPerOp()) / float64(parLat.NsPerOp()),
+		SpeedupNoLatency: float64(seq.NsPerOp()) / float64(par.NsPerOp()),
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*studyBenchOut, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("speedup %.2fx latency-realistic, %.2fx in-memory (%d cores)", doc.Speedup, doc.SpeedupNoLatency, doc.Cores)
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/mitm"
 	"repro/internal/netem"
+	"repro/internal/pool"
 	"repro/internal/probe"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
@@ -41,6 +42,14 @@ type Study struct {
 	// (netem, tlssim, capture, mitm, probe, traffic) reports into it;
 	// snapshot it at any point via MetricsSnapshot.
 	Telemetry *telemetry.Registry
+
+	// Parallelism is the worker count for every parallelisable phase:
+	// the passive handshake batches, the active-snapshot reboots, the
+	// per-device interception/downgrade/passthrough suites, and the
+	// root-store probe. Zero or negative means GOMAXPROCS. Any value
+	// renders byte-identical artifacts; the old-version suite always
+	// runs sequentially because it retunes shared cloud endpoints.
+	Parallelism int
 }
 
 // NewStudy builds a fresh testbed with the gateway mirror armed.
@@ -97,6 +106,7 @@ func (s *Study) RunPassive() (*traffic.Stats, error) {
 func (s *Study) RunPassiveWindow(from, to clock.Month) (*traffic.Stats, error) {
 	sp := s.phaseSpan("passive")
 	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
+	gen.Parallelism = s.Parallelism
 	stats, err := gen.Run(from, to)
 	sp.EndErr(err)
 	return stats, err
@@ -122,18 +132,15 @@ func (s *Study) CaptureActiveSnapshot() (*capture.Store, error) {
 	s.Network.SetMirror(col.Mirror)
 	defer s.Network.SetMirror(s.Collector.Mirror)
 
-	expected := 0
-	for i, dev := range s.Registry.ActiveDevices() {
-		outs := driver.Boot(s.Network, dev, device.ActiveSnapshot, uint64(i)*100000)
-		expected += len(outs)
-	}
-	deadline := time.Now().Add(10 * time.Second)
-	for store.Len() < expected {
-		if time.Now().After(deadline) {
-			sp.End("lagging")
-			return store, fmt.Errorf("core: active capture lagging: %d/%d", store.Len(), expected)
-		}
-		time.Sleep(5 * time.Millisecond)
+	// Each device's boot sequence base is fixed by its registry index,
+	// so its hello randoms are identical at any parallelism.
+	devs := s.Registry.ActiveDevices()
+	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+		driver.Boot(s.Network, devs[i], device.ActiveSnapshot, uint64(i)*100000)
+	})
+	if err := col.WaitIdle(10 * time.Second); err != nil {
+		sp.End("lagging")
+		return store, fmt.Errorf("core: active capture lagging (%d observations stored): %w", store.Len(), err)
 	}
 	sp.End("ok")
 	return store, nil
@@ -144,10 +151,11 @@ func (s *Study) RunInterceptionSuite() []*mitm.InterceptionReport {
 	s.advanceToActiveWindow()
 	sp := s.phaseSpan("interception")
 	defer sp.End("ok")
-	var out []*mitm.InterceptionReport
-	for _, dev := range s.Registry.ActiveDevices() {
-		out = append(out, s.Proxy.RunInterception(dev))
-	}
+	devs := s.Registry.ActiveDevices()
+	out := make([]*mitm.InterceptionReport, len(devs))
+	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+		out[i] = s.Proxy.RunInterception(devs[i])
+	})
 	return out
 }
 
@@ -157,15 +165,18 @@ func (s *Study) RunDowngradeSuite() []*mitm.DowngradeReport {
 	s.advanceToActiveWindow()
 	sp := s.phaseSpan("downgrade")
 	defer sp.End("ok")
-	var out []*mitm.DowngradeReport
-	for _, dev := range s.Registry.ActiveDevices() {
-		out = append(out, s.Proxy.RunDowngrade(dev))
-	}
+	devs := s.Registry.ActiveDevices()
+	out := make([]*mitm.DowngradeReport, len(devs))
+	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+		out[i] = s.Proxy.RunDowngrade(devs[i])
+	})
 	return out
 }
 
 // RunOldVersionSuite checks old-version establishment for every active
-// device (Table 6).
+// device (Table 6). It always runs sequentially: forcing a protocol
+// version retunes the shared cloud endpoint the device talks to, so
+// concurrent devices would observe each other's forced versions.
 func (s *Study) RunOldVersionSuite() []*mitm.OldVersionReport {
 	s.advanceToActiveWindow()
 	sp := s.phaseSpan("old_version")
@@ -183,10 +194,11 @@ func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 	s.advanceToActiveWindow()
 	sp := s.phaseSpan("passthrough")
 	defer sp.End("ok")
-	var out []*mitm.PassthroughReport
-	for _, dev := range s.Registry.ActiveDevices() {
-		out = append(out, s.Proxy.RunPassthrough(dev))
-	}
+	devs := s.Registry.ActiveDevices()
+	out := make([]*mitm.PassthroughReport, len(devs))
+	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+		out[i] = s.Proxy.RunPassthrough(devs[i])
+	})
 	return out
 }
 
@@ -195,6 +207,7 @@ func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 func (s *Study) RunProbe() (amenable []*probe.Report, candidates int, err error) {
 	s.advanceToActiveWindow()
 	sp := s.phaseSpan("probe")
+	s.Prober.Parallelism = s.Parallelism
 	amenable, candidates, err = s.Prober.ExploreAll()
 	sp.EndErr(err)
 	return amenable, candidates, err

@@ -185,10 +185,12 @@ func mk(o tmplOpts) Template {
 			pf = []uint8{0}
 		}
 		return &tlssim.ClientConfig{
-			// Short handshake timeout: the IncompleteHandshake
-			// experiments wait for every client give-up, and the
-			// transport is in-memory.
-			HandshakeTimeout:       100 * time.Millisecond,
+			// Generous handshake timeout: deliberately silent servers
+			// fail the device's reads immediately via netem's stall
+			// signal, so the deadline only guards against bugs. It must
+			// be long enough that CPU contention under the parallel
+			// engine can never flip a live handshake's failure class.
+			HandshakeTimeout:       5 * time.Second,
 			Library:                o.lib,
 			MinVersion:             o.min,
 			MaxVersion:             o.max,

@@ -129,7 +129,7 @@ func finish(out *Outcome, sess *tlssim.Session, dev *device.Device, dst device.D
 	if _, err := io.WriteString(sess.Conn, dev.Payload(dst.Host)); err != nil {
 		return
 	}
-	sess.Conn.Conn.SetDeadline(time.Now().Add(250 * time.Millisecond))
+	sess.Conn.Conn.SetDeadline(time.Now().Add(5 * time.Second))
 	buf := make([]byte, 256)
 	n, err := sess.Conn.Read(buf)
 	if err == nil {

@@ -3,7 +3,6 @@ package mitm
 import (
 	"net"
 	"sync"
-	"time"
 
 	"repro/internal/certs"
 	"repro/internal/ciphers"
@@ -118,8 +117,8 @@ func (p *Proxy) RunInterception(dev *device.Device) *InterceptionReport {
 // attackHost runs one attack against one destination, rebooting the
 // device first and allowing repeated attempts within the session.
 func (p *Proxy) attackHost(dev *device.Device, dst device.Destination, attack Attack) HostResult {
-	records, restore := p.intercept(attack, dev.ID, dst.Host, nil)
-	defer restore()
+	h := p.intercept(attack, dev.ID, dst.Host, nil)
+	defer h.stop()
 
 	// A fresh boot: per-instance failure counters reset.
 	for i := range dev.Slots {
@@ -128,12 +127,8 @@ func (p *Proxy) attackHost(dev *device.Device, dst device.Destination, attack At
 
 	res := HostResult{Host: dst.Host}
 	for attempt := 0; attempt < InterceptionAttempts; attempt++ {
-		out := driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, uint64(attempt)+1)
-		want := 1
-		if out.UsedFallback {
-			want = 2
-		}
-		for _, rec := range collectN(records, want) {
+		driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, uint64(attempt)+1)
+		for _, rec := range h.drain() {
 			if rec.ClientAlert != nil {
 				res.ClientAlert = rec.ClientAlert
 			}
@@ -157,30 +152,6 @@ func (p *Proxy) attackHost(dev *device.Device, dst device.Destination, attack At
 // failures (§4.2's negative result).
 func (p *Proxy) AttackOne(dev *device.Device, dst device.Destination, attack Attack) HostResult {
 	return p.attackHost(dev, dst, attack)
-}
-
-// collect drains buffered records, waiting briefly for the handler
-// goroutine to finish publishing.
-func collect(ch <-chan ConnRecord) []ConnRecord { return collectN(ch, 1) }
-
-// collectN waits (bounded) until want records arrived, then drains.
-// Records are published by the interception handler as soon as the
-// client's side of the connection resolves, which has already happened
-// by the time callers get here — the deadline only covers scheduling.
-func collectN(ch <-chan ConnRecord, want int) []ConnRecord {
-	deadline := time.Now().Add(150 * time.Millisecond)
-	var out []ConnRecord
-	for {
-		select {
-		case r := <-ch:
-			out = append(out, r)
-		default:
-			if len(out) >= want || time.Now().After(deadline) {
-				return out
-			}
-			time.Sleep(2 * time.Millisecond)
-		}
-	}
 }
 
 // DowngradeReport records the Table 5 evidence for one device.
@@ -210,17 +181,13 @@ func (p *Proxy) RunDowngrade(dev *device.Device) *DowngradeReport {
 
 	for _, trigger := range []Attack{AttackFailedHandshake, AttackIncompleteHandshake} {
 		for _, dst := range boot {
-			records, restore := p.intercept(trigger, dev.ID, dst.Host, nil)
+			h := p.intercept(trigger, dev.ID, dst.Host, nil)
 			for i := range dev.Slots {
 				dev.ConfigAt(i, device.ActiveSnapshot).ResetState()
 			}
-			out := driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, 1)
-			want := 1
-			if out.UsedFallback {
-				want = 2
-			}
-			recs := collectN(records, want)
-			restore()
+			driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, 1)
+			recs := h.drain()
+			h.stop()
 			if len(recs) < 2 {
 				continue // no retry observed
 			}
@@ -330,13 +297,13 @@ func RunOldVersionCheck(nw *netem.Network, forcer VersionForcer, dev *device.Dev
 // the client's alert distinguishes "unknown CA" from "known CA, bad
 // signature".
 func (p *Proxy) ProbeOnce(dev *device.Device, dst device.Destination, target *certs.Certificate) ConnRecord {
-	records, restore := p.intercept(AttackSpoofedCA, dev.ID, dst.Host, target)
-	defer restore()
+	h := p.intercept(AttackSpoofedCA, dev.ID, dst.Host, target)
+	defer h.stop()
 	for i := range dev.Slots {
 		dev.ConfigAt(i, device.ActiveSnapshot).ResetState()
 	}
 	driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, 1)
-	recs := collect(records)
+	recs := h.drain()
 	if len(recs) == 0 {
 		return ConnRecord{Attack: AttackSpoofedCA, Host: dst.Host}
 	}
@@ -346,13 +313,13 @@ func (p *Proxy) ProbeOnce(dev *device.Device, dst device.Destination, target *ce
 // ProbeArbitraryCA intercepts with an arbitrary self-signed CA (the
 // unknown-issuer control of §4.2).
 func (p *Proxy) ProbeArbitraryCA(dev *device.Device, dst device.Destination) ConnRecord {
-	records, restore := p.intercept(AttackNoValidation, dev.ID, dst.Host, nil)
-	defer restore()
+	h := p.intercept(AttackNoValidation, dev.ID, dst.Host, nil)
+	defer h.stop()
 	for i := range dev.Slots {
 		dev.ConfigAt(i, device.ActiveSnapshot).ResetState()
 	}
 	driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, 1)
-	recs := collect(records)
+	recs := h.drain()
 	if len(recs) == 0 {
 		return ConnRecord{Attack: AttackNoValidation, Host: dst.Host}
 	}
@@ -386,12 +353,14 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 	// certificates; note which hosts failed. The maps are shared between
 	// the tap selector (the dialer's goroutine) and the per-connection
 	// handler goroutines, which can outlive the client side of a failed
-	// handshake — so every access takes the mutex.
+	// handshake — so every access takes the mutex, and each phase waits
+	// for its handlers before reading results: phase 2's passthrough
+	// decisions depend on a complete `failed` set.
 	var mu sync.Mutex
+	var handlers sync.WaitGroup
 	seen := make(map[string]bool)
 	failed := make(map[string]bool)
-	done := make(chan ConnRecord, 256)
-	p.nw.SetTap(func(meta netem.ConnMeta) netem.Handler {
+	removeTap := p.nw.AddTap(func(meta netem.ConnMeta) netem.Handler {
 		if meta.SrcHost != dev.ID || meta.DstPort != 443 {
 			return nil
 		}
@@ -400,48 +369,48 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 		seen[host] = true
 		mu.Unlock()
 		chain, key := p.chainFor(AttackNoValidation, host, nil)
+		handlers.Add(1)
 		return func(conn net.Conn, meta netem.ConnMeta) {
+			defer handlers.Done()
 			rec := p.serveAttack(AttackNoValidation, host, chain, key, conn)
 			if !rec.Intercepted {
 				mu.Lock()
 				failed[host] = true
 				mu.Unlock()
 			}
-			done <- rec
 		}
 	})
 	driver.Boot(p.nw, dev, device.ActiveSnapshot, 1)
-	collect(done)
-	p.nw.SetTap(nil)
-	mu.Lock()
+	handlers.Wait()
+	removeTap()
 	for h := range seen {
 		report.AttackHosts = append(report.AttackHosts, h)
 	}
-	mu.Unlock()
 
 	// Phase 2: passthrough — previously-failed hosts go to the real
 	// servers; others stay intercepted.
 	seen2 := make(map[string]bool)
-	p.nw.SetTap(func(meta netem.ConnMeta) netem.Handler {
+	removeTap = p.nw.AddTap(func(meta netem.ConnMeta) netem.Handler {
 		if meta.SrcHost != dev.ID || meta.DstPort != 443 {
 			return nil
 		}
 		host := meta.DstHost
 		mu.Lock()
 		seen2[host] = true
-		passThrough := failed[host]
 		mu.Unlock()
-		if passThrough {
+		if failed[host] {
 			return nil // pass through
 		}
 		chain, key := p.chainFor(AttackNoValidation, host, nil)
+		handlers.Add(1)
 		return func(conn net.Conn, meta netem.ConnMeta) {
-			done <- p.serveAttack(AttackNoValidation, host, chain, key, conn)
+			defer handlers.Done()
+			p.serveAttack(AttackNoValidation, host, chain, key, conn)
 		}
 	})
 	driver.Boot(p.nw, dev, device.ActiveSnapshot, 2)
-	collect(done)
-	p.nw.SetTap(nil)
+	handlers.Wait()
+	removeTap()
 
 	mu.Lock()
 	for h := range seen2 {

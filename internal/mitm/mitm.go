@@ -9,8 +9,10 @@ package mitm
 import (
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/certs"
@@ -187,20 +189,70 @@ type ConnRecord struct {
 	FailureClass tlssim.FailureClass
 }
 
-// intercept installs a tap hijacking connections from srcHost to
-// dstHost and returns a channel of records plus a restore function.
-func (p *Proxy) intercept(attack Attack, srcHost, dstHost string, spoofTarget *certs.Certificate) (<-chan ConnRecord, func()) {
-	records := make(chan ConnRecord, 64)
+// interceptHandle is a live interception tap. Its drain method is the
+// deterministic way to read results: it waits for every handler whose
+// connection has already been dialed to finish publishing, then returns
+// the records. Handler lifetimes are bounded (every read in serveAttack
+// carries a deadline), so the wait always terminates.
+type interceptHandle struct {
+	records chan indexedRecord
+	dials   atomic.Int64
+	wg      sync.WaitGroup
+	remove  func()
+}
+
+// indexedRecord carries the dial ordinal assigned when the tap matched
+// the connection. Tap selectors run synchronously inside netem.Dial, so
+// the ordinal reflects the client's dial order even though handler
+// goroutines publish in scheduling order.
+type indexedRecord struct {
+	idx int64
+	rec ConnRecord
+}
+
+// drain waits for all in-flight handlers, then returns their records in
+// dial order. Callers must have finished dialing (the client side of
+// every tapped connection has returned) before calling, so no new
+// handlers can start during the wait.
+func (h *interceptHandle) drain() []ConnRecord {
+	h.wg.Wait()
+	var got []indexedRecord
+	for {
+		select {
+		case r := <-h.records:
+			got = append(got, r)
+		default:
+			sort.Slice(got, func(i, j int) bool { return got[i].idx < got[j].idx })
+			out := make([]ConnRecord, len(got))
+			for i, r := range got {
+				out[i] = r.rec
+			}
+			return out
+		}
+	}
+}
+
+// stop deregisters the tap.
+func (h *interceptHandle) stop() { h.remove() }
+
+// intercept registers a tap hijacking connections from srcHost to
+// dstHost. The tap filters on the source device, so intercepts against
+// different devices stack and run concurrently.
+func (p *Proxy) intercept(attack Attack, srcHost, dstHost string, spoofTarget *certs.Certificate) *interceptHandle {
+	h := &interceptHandle{records: make(chan indexedRecord, 64)}
 	chain, key := p.chainFor(attack, dstHost, spoofTarget)
-	p.nw.SetTap(func(meta netem.ConnMeta) netem.Handler {
+	h.remove = p.nw.AddTap(func(meta netem.ConnMeta) netem.Handler {
 		if meta.SrcHost != srcHost || meta.DstHost != dstHost || meta.DstPort != 443 {
 			return nil
 		}
+		idx := h.dials.Add(1)
+		h.wg.Add(1)
 		return func(conn net.Conn, meta netem.ConnMeta) {
-			records <- p.serveAttack(attack, dstHost, chain, key, conn)
+			defer h.wg.Done()
+			h.records <- indexedRecord{idx: idx, rec: p.serveAttack(attack, dstHost, chain, key, conn)}
 		}
 	})
-	return records, func() { p.nw.SetTap(nil) }
+	return h
 }
 
 // serveAttack terminates one hijacked connection.
@@ -209,11 +261,15 @@ func (p *Proxy) serveAttack(attack Attack, host string, chain []*certs.Certifica
 	tel.Counter("mitm.attacks").Inc()
 	tel.Counter("mitm.attacks." + attack.String()).Inc()
 	cfg := &tlssim.ServerConfig{
-		Chain:      chain,
-		Key:        key,
-		Telemetry:  tel,
-		MinVersion: ciphers.SSL30,
-		MaxVersion: ciphers.TLS13,
+		Chain: chain,
+		Key:   key,
+		// Generous: defended clients alert or close immediately, so the
+		// deadline only guards against bugs; it must be long enough
+		// that scheduling delays cannot flip a record's failure class.
+		HandshakeTimeout: 5 * time.Second,
+		Telemetry:        tel,
+		MinVersion:       ciphers.SSL30,
+		MaxVersion:       ciphers.TLS13,
 		CipherSuites: []ciphers.Suite{
 			ciphers.TLS_AES_128_GCM_SHA256,
 			ciphers.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
@@ -239,7 +295,7 @@ func (p *Proxy) serveAttack(attack Attack, host string, chain []*certs.Certifica
 	tel.Counter("mitm.intercepted").Inc()
 	sess := res.Session
 	defer sess.Close()
-	sess.Conn.Conn.SetDeadline(time.Now().Add(250 * time.Millisecond))
+	sess.Conn.Conn.SetDeadline(time.Now().Add(5 * time.Second))
 	buf := make([]byte, 1024)
 	n, err := sess.Conn.Read(buf)
 	if err == nil {
@@ -251,19 +307,6 @@ func (p *Proxy) serveAttack(attack Attack, host string, chain []*certs.Certifica
 		fmt.Fprintf(sess.Conn, "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
 	}
 	return rec
-}
-
-// drain collects all records currently buffered.
-func drain(ch <-chan ConnRecord) []ConnRecord {
-	var out []ConnRecord
-	for {
-		select {
-		case r := <-ch:
-			out = append(out, r)
-		default:
-			return out
-		}
-	}
 }
 
 // SensitivePayload reports whether an intercepted payload contains

@@ -84,10 +84,17 @@ type Network struct {
 	mu         sync.RWMutex
 	listeners  map[string]Handler
 	tap        Tap
+	taps       []*tapEntry
 	mirror     MirrorFactory
 	connCount  int
 	impairment Impairment
 	dropped    int
+}
+
+// tapEntry is one AddTap registration, boxed so the remove closure can
+// identify its own entry by pointer.
+type tapEntry struct {
+	tap Tap
 }
 
 // New creates an empty network observing time through clk. The network
@@ -120,11 +127,35 @@ func (n *Network) Unlisten(host string, port int) {
 	delete(n.listeners, fmt.Sprintf("%s:%d", host, port))
 }
 
-// SetTap installs the gateway interception hook (nil disables).
+// SetTap installs the gateway interception hook (nil disables). It is
+// the single designated tap slot; independent taps that must coexist —
+// concurrent per-device experiments — use AddTap instead.
 func (n *Network) SetTap(t Tap) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.tap = t
+}
+
+// AddTap registers an additional interception hook and returns its
+// remove function. Taps are consulted in registration order (after the
+// SetTap slot); the first one returning a non-nil handler hijacks the
+// connection. Taps filtering on disjoint sources compose, which is what
+// lets active experiments against different devices run concurrently.
+func (n *Network) AddTap(t Tap) (remove func()) {
+	e := &tapEntry{tap: t}
+	n.mu.Lock()
+	n.taps = append(n.taps, e)
+	n.mu.Unlock()
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for i, x := range n.taps {
+			if x == e {
+				n.taps = append(n.taps[:i], n.taps[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // SetMirror installs the passive byte-mirroring hook (nil disables).
@@ -155,10 +186,15 @@ func (n *Network) Dropped() int {
 	return n.dropped
 }
 
-// blackHole swallows everything the client sends and never answers,
-// closing only when the client gives up.
+// blackHole swallows everything the client sends and never answers.
+// It declares the stall up front, so the client's read fails with a
+// timeout immediately instead of waiting out its handshake deadline —
+// same failure class, no wall-clock sensitivity.
 func blackHole(conn net.Conn, _ ConnMeta) {
 	defer conn.Close()
+	if s, ok := conn.(Staller); ok {
+		s.StallPeer()
+	}
 	buf := make([]byte, 1024)
 	for {
 		if _, err := conn.Read(buf); err != nil {
@@ -177,6 +213,7 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 	n.mu.Lock()
 	n.connCount++
 	tap := n.tap
+	taps := append([]*tapEntry(nil), n.taps...)
 	mirror := n.mirror
 	handler := n.listeners[meta.Addr()]
 	imp := n.impairment
@@ -196,13 +233,27 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 		n.tel.Counter("netem.dials.dropped").Inc()
 		handler = blackHole
 		tap = nil
+		taps = nil
 	}
 
+	hijacked := false
 	if tap != nil {
 		if h := tap(meta); h != nil {
-			n.tel.Counter("netem.dials.tapped").Inc()
 			handler = h
+			hijacked = true
 		}
+	}
+	for _, e := range taps {
+		if hijacked {
+			break
+		}
+		if h := e.tap(meta); h != nil {
+			handler = h
+			hijacked = true
+		}
+	}
+	if hijacked {
+		n.tel.Counter("netem.dials.tapped").Inc()
 	}
 	if handler == nil {
 		n.tel.Counter("netem.dials.no_route").Inc()
@@ -210,8 +261,15 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 	}
 
 	clientSide, serverSide := net.Pipe()
-	var client net.Conn = &addrConn{Conn: clientSide, local: hostAddr(srcHost), remote: hostAddr(meta.Addr())}
-	server := &addrConn{Conn: serverSide, local: hostAddr(meta.Addr()), remote: hostAddr(srcHost)}
+	st := &stallState{peer: clientSide}
+	var client net.Conn = &stallConn{
+		Conn: &addrConn{Conn: clientSide, local: hostAddr(srcHost), remote: hostAddr(meta.Addr())},
+		st:   st,
+	}
+	server := &serverConn{
+		Conn: &addrConn{Conn: serverSide, local: hostAddr(meta.Addr()), remote: hostAddr(srcHost)},
+		st:   st,
+	}
 
 	if mirror != nil {
 		if m := mirror(meta); m != nil {
@@ -238,6 +296,63 @@ type addrConn struct {
 
 func (c *addrConn) LocalAddr() net.Addr  { return c.local }
 func (c *addrConn) RemoteAddr() net.Addr { return c.remote }
+
+// Staller is implemented by the server side of every dialed connection.
+// A handler that intends never to answer again calls StallPeer, which
+// fails the client's pending and future reads immediately with a
+// timeout instead of making it wait out its handshake deadline. The
+// failure class the client observes is identical to a real timeout
+// (FailIncomplete territory), but the outcome no longer depends on
+// wall-clock scheduling — the property the parallel engine's
+// bit-identical-artifacts guarantee rests on.
+type Staller interface{ StallPeer() }
+
+// stallState coordinates a declared stall with the client's own
+// deadline management: once stalled, the client's read deadline is
+// pinned in the past and stallConn refuses to move it forward.
+type stallState struct {
+	mu      sync.Mutex
+	stalled bool
+	peer    net.Conn // raw client pipe end
+}
+
+// stallConn is the client end of a dialed connection.
+type stallConn struct {
+	net.Conn // addrConn
+	st       *stallState
+}
+
+func (c *stallConn) SetDeadline(t time.Time) error {
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	if c.st.stalled {
+		return c.Conn.SetWriteDeadline(t)
+	}
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *stallConn) SetReadDeadline(t time.Time) error {
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	if c.st.stalled {
+		return nil
+	}
+	return c.Conn.SetReadDeadline(t)
+}
+
+// serverConn is the server end of a dialed connection.
+type serverConn struct {
+	net.Conn // addrConn
+	st       *stallState
+}
+
+// StallPeer implements Staller.
+func (c *serverConn) StallPeer() {
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	c.st.stalled = true
+	c.st.peer.SetReadDeadline(time.Unix(1, 0))
+}
 
 // mirroredConn copies all traffic through a Mirror. Reads observe
 // server->client bytes; writes observe client->server bytes.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/certs"
 	"repro/internal/device"
 	"repro/internal/mitm"
+	"repro/internal/pool"
 	"repro/internal/rootstore"
 	"repro/internal/wire"
 )
@@ -123,6 +124,11 @@ type Prober struct {
 	// matches the paper's procedure; higher values buy robustness on
 	// flaky networks at a linear cost in reboots.
 	Repeats int
+	// Parallelism is the worker count for ExploreAll's per-device
+	// explorations (zero or negative means GOMAXPROCS). Explorations are
+	// independent — each taps only its own device's traffic — and
+	// reports come back in candidate order regardless of the value.
+	Parallelism int
 }
 
 // New builds a Prober with a single trial per CA.
@@ -247,15 +253,23 @@ func (p *Prober) Explore(dev *device.Device) (*Report, error) {
 // the amenable devices (the Table 9 population), plus the count of
 // candidates tested.
 func (p *Prober) ExploreAll() (amenable []*Report, candidates int, err error) {
-	for _, dev := range p.Registry.ProbeCandidates() {
-		candidates++
-		rep, err := p.Explore(dev)
-		if err != nil {
-			return nil, candidates, err
+	devs := p.Registry.ProbeCandidates()
+	reports := make([]*Report, len(devs))
+	errs := make([]error, len(devs))
+	pool.Run(p.Parallelism, len(devs), func(_, i int) {
+		reports[i], errs[i] = p.Explore(devs[i])
+	})
+	for i := range devs {
+		// Mirror the sequential engine: the first failing candidate (in
+		// candidate order) aborts, counting only the devices up to it.
+		if errs[i] != nil {
+			return nil, i + 1, errs[i]
 		}
+	}
+	for _, rep := range reports {
 		if rep.Amenable {
 			amenable = append(amenable, rep)
 		}
 	}
-	return amenable, candidates, nil
+	return amenable, len(devs), nil
 }

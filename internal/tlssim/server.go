@@ -76,8 +76,14 @@ func Serve(conn net.Conn, cfg *ServerConfig) *ServerResult {
 
 	switch cfg.Behavior {
 	case ServeIncompleteHandshake:
-		// Never answer: hold the connection until the client gives up.
+		// Never answer. When the transport supports deterministic
+		// stalls (netem pipes), fail the client's pending read right
+		// away — same timeout classification, no wall-clock wait.
+		// Otherwise hold the connection until the client gives up.
 		conn.SetDeadline(noDeadline)
+		if s, ok := conn.(interface{ StallPeer() }); ok {
+			s.StallPeer()
+		}
 		buf := make([]byte, 256)
 		for {
 			if _, err := conn.Read(buf); err != nil {

@@ -5,6 +5,14 @@
 // monthly connection volume. The paper's ≈17M-connection corpus is thus
 // reproduced at measurement fidelity (real wire bytes through the
 // gateway sniffer) without 17M literal handshakes.
+//
+// Within each month the per-device handshake batches are dispatched to
+// a worker pool. Work items are enumerated — and hello-random sequence
+// numbers assigned — before dispatch, in the same order the sequential
+// engine used, so every handshake is byte-identical at any parallelism;
+// devices are the unit of dispatch because a device's per-slot TLS
+// state (failure counters, downgrade memory) is ordered by its own
+// connection history.
 package traffic
 
 import (
@@ -16,7 +24,11 @@ import (
 	"repro/internal/device"
 	"repro/internal/driver"
 	"repro/internal/netem"
+	"repro/internal/pool"
 )
+
+// captureTimeout bounds the post-month wait for sniffers to publish.
+const captureTimeout = 10 * time.Second
 
 // Generator runs the passive study.
 type Generator struct {
@@ -25,6 +37,14 @@ type Generator struct {
 	Collector *capture.Collector
 	Clock     *clock.Simulated
 
+	// Parallelism is the worker count for each month's handshake batch.
+	// Zero or negative means GOMAXPROCS; one reproduces the sequential
+	// engine exactly (and any value reproduces its artifacts).
+	Parallelism int
+
+	// seq numbers every planned connection. It only advances during
+	// single-threaded work enumeration; workers read the pre-assigned
+	// values, so no handshake's randoms depend on scheduling.
 	seq uint64
 }
 
@@ -41,53 +61,86 @@ type Stats struct {
 	FailedConnects int
 }
 
+// add merges a worker accumulator.
+func (s *Stats) add(o Stats) {
+	s.Handshakes += o.Handshakes
+	s.WeightedConns += o.WeightedConns
+	s.FailedConnects += o.FailedConnects
+}
+
 // RunStudy simulates the full passive window.
 func (g *Generator) RunStudy() (*Stats, error) {
 	return g.Run(device.StudyStart, device.StudyEnd)
 }
 
+// workItem is one device's handshake batch for one month, with the
+// sequence number of each planned connection pre-assigned.
+type workItem struct {
+	dev  *device.Device
+	dsts []device.Destination
+	seqs []uint64
+}
+
 // Run simulates the months from first through last inclusive.
 func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 	stats := &Stats{}
-	store := g.Collector.Store
 	tel := g.Network.Telemetry()
+	workers := pool.Parallelism(g.Parallelism)
 	for m := first; !last.Before(m); m = m.Next() {
 		sp := tel.StartSpan("traffic.month")
 		// Mid-month timestamp so observations land in the right bucket.
 		if t := m.Start().Add(14 * 24 * time.Hour); t.After(g.Clock.Now()) {
 			g.Clock.AdvanceTo(t)
 		}
+
+		// Enumerate the month's work in the canonical sequential order,
+		// assigning seq numbers as the single-threaded engine did.
+		var items []workItem
 		for _, dev := range g.Registry.Devices {
 			if !dev.ActiveIn(m) {
 				continue
 			}
+			item := workItem{dev: dev}
 			for _, dst := range dev.Destinations {
 				g.seq++
-				g.Collector.WillDial(dev.ID, dst.Host, 443, dst.MonthlyConns)
-				out := driver.Connect(g.Network, dev, dst, m, g.seq)
-				stats.Handshakes++
-				stats.WeightedConns += dst.MonthlyConns
+				item.dsts = append(item.dsts, dst)
+				item.seqs = append(item.seqs, g.seq)
+			}
+			items = append(items, item)
+		}
+
+		accs := make([]Stats, workers)
+		month := m
+		pool.Run(workers, len(items), func(worker, i int) {
+			it := items[i]
+			acc := &accs[worker]
+			for k, dst := range it.dsts {
+				g.Collector.WillDial(it.dev.ID, dst.Host, 443, dst.MonthlyConns)
+				out := driver.Connect(g.Network, it.dev, dst, month, it.seqs[k])
+				acc.Handshakes++
+				acc.WeightedConns += dst.MonthlyConns
 				tel.Counter("traffic.handshakes").Inc()
 				tel.Counter("traffic.weighted_conns").Add(int64(dst.MonthlyConns))
 				if !out.Established {
-					stats.FailedConnects++
+					acc.FailedConnects++
 					tel.Counter("traffic.failed_connects").Inc()
 				}
 			}
+		})
+		for _, acc := range accs {
+			stats.add(acc)
+		}
+
+		// Month barrier: every sniffer has signalled completion before
+		// the next month's clock advance (or the caller's analyses) run.
+		if err := g.Collector.WaitIdle(captureTimeout); err != nil {
+			sp.End("lagging")
+			return stats, fmt.Errorf("traffic: capture lagging in %s (%d observations stored): %w",
+				m, g.Collector.Store.Len(), err)
 		}
 		stats.Months++
 		tel.Counter("traffic.months").Inc()
 		sp.End("ok")
-	}
-
-	// The sniffers publish asynchronously on connection close; wait for
-	// the store to catch up.
-	deadline := time.Now().Add(10 * time.Second)
-	for store.Len() < stats.Handshakes {
-		if time.Now().After(deadline) {
-			return stats, fmt.Errorf("traffic: capture lagging: %d/%d observations", store.Len(), stats.Handshakes)
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 	return stats, nil
 }
