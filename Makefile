@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build test race race-parallel vet bench bench-telemetry clean
+.PHONY: check build test race race-parallel chaos vet bench bench-telemetry clean
 
 # check is the full verification gate: vet, build, the test suite under
-# the race detector, and the parallel-study workload under the race
-# detector at eight workers.
-check: vet build race race-parallel
+# the race detector, the parallel-study workload under the race
+# detector at eight workers, and the fault-injection chaos matrix.
+check: vet build race race-parallel chaos
 
 build:
 	$(GO) build ./...
@@ -25,12 +25,23 @@ race:
 race-parallel:
 	$(GO) test -race -run TestParallelStudyRace -count=1 ./internal/core/
 
+# chaos runs the fault-seed matrix under the race detector: aggressive
+# fault plans across multiple seeds at 1 and 8 workers, asserting the
+# study never deadlocks, always renders, stays byte-identical across
+# worker counts, and that telemetry fault counters match the plan.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 -timeout 10m ./internal/core/
+
 # bench measures the full study sequential vs parallel (in-memory and
 # with simulated 5ms connection-setup latency) and writes
-# BENCH_study.json.
+# BENCH_study.json; it then measures fault-subsystem overhead
+# (baseline vs armed-but-empty plan vs mild plan) into
+# BENCH_faults.json.
 bench:
 	$(GO) test ./internal/core/ -run TestEmitStudyBench -count=1 -timeout 30m \
 		-study.benchout=$(CURDIR)/BENCH_study.json
+	$(GO) test ./internal/core/ -run TestEmitFaultsBench -count=1 -timeout 30m \
+		-faults.benchout=$(CURDIR)/BENCH_faults.json
 
 # bench-telemetry runs the full study through `iotls metrics report`
 # and captures the deterministic telemetry report.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // debugStudy is the study the live inspector reports on: newStudy
@@ -20,11 +22,45 @@ var debugStudy atomic.Pointer[core.Study]
 // study the process builds.
 var studyParallelism int
 
+// studyFaults holds the fault plan built from the global -fault-seed /
+// -fault-profile flags; nil means faults are off.
+var studyFaults struct {
+	seed    uint64
+	profile fault.Profile
+	armed   bool
+}
+
+// armFaults validates the global fault flags. Either flag alone arms
+// the plan: a bare seed uses the "mild" profile, a bare profile uses
+// seed 1.
+func armFaults(seed uint64, profile string) error {
+	if seed == 0 && profile == "" {
+		return nil
+	}
+	if profile == "" {
+		profile = "mild"
+	}
+	prof, ok := fault.Profiles[profile]
+	if !ok {
+		return fmt.Errorf("unknown fault profile %q (want off, mild, or aggressive)", profile)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	studyFaults.seed = seed
+	studyFaults.profile = prof
+	studyFaults.armed = true
+	return nil
+}
+
 // newStudy builds the testbed and registers it with the debug
 // inspector. All subcommands construct their study through this.
 func newStudy() *core.Study {
 	s := core.NewStudy()
 	s.Parallelism = studyParallelism
+	if studyFaults.armed {
+		s.SetFaultPlan(fault.NewPlan(studyFaults.seed, studyFaults.profile))
+	}
 	debugStudy.Store(s)
 	return s
 }

@@ -18,6 +18,16 @@
 // GOMAXPROCS; 1 forces the sequential engine). Every value renders
 // byte-identical artifacts.
 //
+// The global -fault-seed and -fault-profile flags (before the
+// subcommand) arm deterministic fault injection: seeded connection
+// faults (resets, truncated/corrupted records, dial failures, stalls,
+// latency spikes) are injected across the run, devices respond with
+// their retry/backoff policies, and the study degrades gracefully
+// instead of aborting. A run that completes degraded exits with code 3
+// (clean success is 0, failure is 1, usage errors are 2):
+//
+//	iotls -fault-seed 7 -fault-profile aggressive report
+//
 // The global -debug-addr flag (before the subcommand) serves a live
 // runtime inspector — expvar at /debug/vars (including the study's
 // telemetry snapshot) and pprof at /debug/pprof/ — while the study
@@ -27,6 +37,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,8 +58,14 @@ func main() {
 	global.Usage = usage
 	debugAddr := global.String("debug-addr", "", "serve expvar and pprof on this address while the study runs")
 	parallel := global.Int("parallel", 0, "worker count for parallel study phases (0 = GOMAXPROCS, 1 = sequential)")
+	faultSeed := global.Uint64("fault-seed", 0, "seed for the deterministic fault-injection plan (0 with no -fault-profile = faults off)")
+	faultProfile := global.String("fault-profile", "", "fault-injection profile: off, mild, or aggressive")
 	global.Parse(os.Args[1:])
 	studyParallelism = *parallel
+	if err := armFaults(*faultSeed, *faultProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "iotls:", err)
+		os.Exit(2)
+	}
 	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -89,11 +106,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if errors.Is(err, errDegraded) {
+		fmt.Fprintln(os.Stderr, "iotls:", err)
+		os.Exit(3)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iotls:", err)
 		os.Exit(1)
 	}
 }
+
+// errDegraded marks a study that completed but contained incidents;
+// main maps it to exit code 3 so scripted fault campaigns can tell
+// "degraded but rendered" (3) apart from "failed" (1).
+var errDegraded = errors.New("study completed degraded")
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: iotls [-debug-addr ADDR] <command>
@@ -112,11 +138,17 @@ commands:
                JSON telemetry report (-o file, -months N)
 
 flags:
-  -parallel N        worker count for parallel study phases
-                     (0 = GOMAXPROCS, 1 = sequential; artifacts are
-                     byte-identical at any value)
-  -debug-addr ADDR   serve the live inspector (expvar at /debug/vars,
-                     pprof at /debug/pprof/) on ADDR while running`)
+  -parallel N          worker count for parallel study phases
+                       (0 = GOMAXPROCS, 1 = sequential; artifacts are
+                       byte-identical at any value)
+  -fault-seed N        seed the deterministic fault-injection plan
+                       (defaults the profile to mild when set alone)
+  -fault-profile NAME  fault profile: off, mild, or aggressive
+                       (defaults the seed to 1 when set alone)
+  -debug-addr ADDR     serve the live inspector (expvar at /debug/vars,
+                       pprof at /debug/pprof/) on ADDR while running
+
+exit codes: 0 success, 1 failure, 2 usage, 3 study completed degraded`)
 }
 
 func runPassive() error {
@@ -184,6 +216,9 @@ func runReport(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %d artifacts to %s\n", len(files), *dir)
+	}
+	if rep.Degraded() {
+		return fmt.Errorf("%w: %d incident(s) contained", errDegraded, len(rep.Degradations))
 	}
 	return nil
 }

@@ -278,6 +278,22 @@ func (c *Collector) WaitIdle(timeout time.Duration) error {
 	}
 }
 
+// WaitIdlePatient is WaitIdle with bounded retry: on ErrCaptureLagging
+// it waits again up to retries extra times, doubling the timeout each
+// round, counting every extra round in the store's telemetry under
+// "capture.waitidle.wall_retries". The counter carries a "wall" dot
+// segment deliberately: the retry count depends on host scheduling, so
+// it is excluded from the deterministic snapshot.
+func (c *Collector) WaitIdlePatient(timeout time.Duration, retries int) error {
+	err := c.WaitIdle(timeout)
+	for i := 0; i < retries && errors.Is(err, ErrCaptureLagging); i++ {
+		c.Store.Telemetry().Counter("capture.waitidle.wall_retries").Inc()
+		timeout *= 2
+		err = c.WaitIdle(timeout)
+	}
+	return err
+}
+
 // WillDial announces that the next connection from src to host carries
 // the given weight.
 func (c *Collector) WillDial(src, host string, port int, weight int) {

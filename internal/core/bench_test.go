@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/netem"
 )
 
@@ -50,6 +51,40 @@ func BenchmarkFullStudy(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { benchStudy(b, benchParallelism, 0) })
 	b.Run("sequential_latency", func(b *testing.B) { benchStudy(b, 1, benchDialDelay) })
 	b.Run("parallel_latency", func(b *testing.B) { benchStudy(b, benchParallelism, benchDialDelay) })
+}
+
+// benchFaultStudy runs the complete study with a fault plan armed (or
+// nil for the unarmed baseline) at the given parallelism.
+func benchFaultStudy(b *testing.B, parallelism int, plan func() *fault.Plan) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewStudy()
+		s.Parallelism = parallelism
+		if plan != nil {
+			s.SetFaultPlan(plan())
+		}
+		rep, err := s.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Render(s) == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkFaultInjection measures what arming the fault subsystem
+// costs: the decision path runs on every dial even when the profile
+// ("off") can never injure a connection, so the baseline-vs-empty-plan
+// pair isolates the plan's bookkeeping overhead.
+func BenchmarkFaultInjection(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) { benchFaultStudy(b, benchParallelism, nil) })
+	b.Run("empty_plan", func(b *testing.B) {
+		benchFaultStudy(b, benchParallelism, func() *fault.Plan { return fault.NewPlan(1, fault.Profiles["off"]) })
+	})
+	b.Run("mild_plan", func(b *testing.B) {
+		benchFaultStudy(b, benchParallelism, func() *fault.Plan { return fault.NewPlan(1, fault.Profiles["mild"]) })
+	})
 }
 
 var studyBenchOut = flag.String("study.benchout", "", "write the full-study benchmark comparison to this JSON file")
@@ -114,4 +149,56 @@ func TestEmitStudyBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("speedup %.2fx latency-realistic, %.2fx in-memory (%d cores)", doc.Speedup, doc.SpeedupNoLatency, doc.Cores)
+}
+
+var faultsBenchOut = flag.String("faults.benchout", "", "write the fault-injection overhead comparison to this JSON file")
+
+// TestEmitFaultsBench measures the BenchmarkFaultInjection
+// configurations via testing.Benchmark and writes BENCH_faults.json.
+// The headline number is overhead_ratio_empty: an armed-but-empty
+// ("off") plan still runs the decision path on every dial, and that
+// bookkeeping should cost approximately nothing (ratio ≈ 1.0).
+// It only runs when -faults.benchout is set (`make bench`).
+func TestEmitFaultsBench(t *testing.T) {
+	if *faultsBenchOut == "" {
+		t.Skip("set -faults.benchout to emit BENCH_faults.json")
+	}
+	one := func(plan func() *fault.Plan) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) { benchFaultStudy(b, benchParallelism, plan) })
+	}
+	baseline := one(nil)
+	empty := one(func() *fault.Plan { return fault.NewPlan(1, fault.Profiles["off"]) })
+	mild := one(func() *fault.Plan { return fault.NewPlan(1, fault.Profiles["mild"]) })
+
+	doc := struct {
+		Schema      string     `json:"schema"`
+		Cores       int        `json:"cores"`
+		Parallelism int        `json:"parallelism"`
+		Baseline    benchEntry `json:"baseline"`
+		EmptyPlan   benchEntry `json:"empty_plan"`
+		MildPlan    benchEntry `json:"mild_plan"`
+		// OverheadRatioEmpty is empty-plan ns/op over baseline ns/op —
+		// the cost of arming the subsystem with no faults to inject.
+		OverheadRatioEmpty float64 `json:"overhead_ratio_empty"`
+		// OverheadRatioMild is mild-plan ns/op over baseline ns/op —
+		// what a realistic fault campaign (retries and all) adds.
+		OverheadRatioMild float64 `json:"overhead_ratio_mild"`
+	}{
+		Schema:             "iotls/bench-faults/v1",
+		Cores:              runtime.NumCPU(),
+		Parallelism:        benchParallelism,
+		Baseline:           entry(baseline),
+		EmptyPlan:          entry(empty),
+		MildPlan:           entry(mild),
+		OverheadRatioEmpty: float64(empty.NsPerOp()) / float64(baseline.NsPerOp()),
+		OverheadRatioMild:  float64(mild.NsPerOp()) / float64(baseline.NsPerOp()),
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*faultsBenchOut, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("empty-plan overhead %.3fx, mild-plan overhead %.3fx (%d cores)", doc.OverheadRatioEmpty, doc.OverheadRatioMild, doc.Cores)
 }

@@ -1,0 +1,116 @@
+// Graceful degradation: the machinery that lets a fault-ridden study
+// finish anyway. Every RunAll phase runs contained — a panic or typed
+// error becomes a Degradation entry instead of an abort — and per-device
+// suite work recovers individually, substituting an empty report for the
+// device that failed. The report then renders with explicit PARTIAL
+// annotations rather than silently presenting damaged tables as whole.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Degradation records one contained incident of a study run.
+type Degradation struct {
+	// Phase is the RunAll phase the incident occurred in.
+	Phase string
+	// Reason is a human-readable description.
+	Reason string
+}
+
+// PhaseError is the typed error a contained phase failure produces.
+type PhaseError struct {
+	Phase string
+	Err   error
+	// Panicked distinguishes a recovered panic from a returned error.
+	Panicked bool
+}
+
+// Error implements error.
+func (e *PhaseError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("core: phase %s panicked: %v", e.Phase, e.Err)
+	}
+	return fmt.Sprintf("core: phase %s: %v", e.Phase, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *PhaseError) Unwrap() error { return e.Err }
+
+// runContained invokes fn, converting a returned error or a panic into
+// a *PhaseError. Note it cannot catch panics on goroutines fn spawns;
+// per-device pool work uses recoverDevice for that.
+func (s *Study) runContained(phase string, fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PhaseError{Phase: phase, Err: fmt.Errorf("%v", p), Panicked: true}
+		}
+	}()
+	if e := fn(); e != nil {
+		return &PhaseError{Phase: phase, Err: e}
+	}
+	return nil
+}
+
+// noteDegraded records one incident and counts it in telemetry.
+func (s *Study) noteDegraded(phase, reason string) {
+	s.Telemetry.Counter("core.degraded." + phase).Inc()
+	s.degradeMu.Lock()
+	s.degradations = append(s.degradations, Degradation{Phase: phase, Reason: reason})
+	s.degradeMu.Unlock()
+}
+
+// Degradations returns the incidents recorded so far, in a
+// deterministic order (per-device entries are appended from pool
+// workers, so insertion order depends on scheduling).
+func (s *Study) Degradations() []Degradation {
+	s.degradeMu.Lock()
+	out := append([]Degradation(nil), s.degradations...)
+	s.degradeMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		return out[i].Reason < out[j].Reason
+	})
+	return out
+}
+
+// phase runs one RunAll phase contained, recording a degradation on
+// failure and — under an armed fault plan — when devices abandoned
+// connections (retry budgets exhausted) during the phase.
+func (s *Study) phase(name string, fn func() error) {
+	pre := s.Telemetry.Counter("driver.giveups").Value()
+	if err := s.runContained(name, fn); err != nil {
+		s.noteDegraded(name, err.Error())
+	}
+	if d := s.Telemetry.Counter("driver.giveups").Value() - pre; d > 0 {
+		s.noteDegraded(name, fmt.Sprintf("%d connection(s) abandoned after retry exhaustion", d))
+	}
+}
+
+// recoverDevice is deferred inside per-device pool workers: it turns a
+// panic while processing one device into a degradation entry plus an
+// empty substitute report (installed by fallback), so one broken device
+// cannot sink a whole suite.
+func (s *Study) recoverDevice(phase, id string, fallback func()) {
+	if p := recover(); p != nil {
+		s.noteDegraded(phase, fmt.Sprintf("device %s: %v", id, p))
+		fallback()
+	}
+}
+
+// Degraded reports whether the study recorded any incident.
+func (r *Report) Degraded() bool { return len(r.Degradations) > 0 }
+
+// degradationLog renders the report appendix listing every incident.
+func degradationLog(ds []Degradation) string {
+	var b strings.Builder
+	b.WriteString("== Degradation log ==\n")
+	for _, d := range ds {
+		fmt.Fprintf(&b, "  [%s] %s\n", d.Phase, d.Reason)
+	}
+	return b.String()
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/device"
 	"repro/internal/driver"
+	"repro/internal/fault"
 	"repro/internal/fingerprint"
 	"repro/internal/mitm"
 	"repro/internal/netem"
@@ -50,6 +52,38 @@ type Study struct {
 	// renders byte-identical artifacts; the old-version suite always
 	// runs sequentially because it retunes shared cloud endpoints.
 	Parallelism int
+
+	// Faults is the armed fault-injection plan (nil on a clean
+	// testbed). Arm it through SetFaultPlan so the network sees it too.
+	Faults *fault.Plan
+
+	// PassiveFrom/PassiveTo narrow RunAll's passive window; the zero
+	// Month means the full study bound (StudyStart/StudyEnd). Chaos
+	// runs use a short window to keep the fault matrix fast.
+	PassiveFrom, PassiveTo clock.Month
+
+	degradeMu    sync.Mutex
+	degradations []Degradation
+}
+
+// SetFaultPlan arms deterministic fault injection across the testbed:
+// the network consults the plan on every dial, and the driver's
+// device-resilience policies activate.
+func (s *Study) SetFaultPlan(p *fault.Plan) {
+	s.Faults = p
+	s.Network.SetFaultPlan(p)
+}
+
+// passiveWindow resolves the RunAll passive bounds.
+func (s *Study) passiveWindow() (from, to clock.Month) {
+	from, to = s.PassiveFrom, s.PassiveTo
+	if (from == clock.Month{}) {
+		from = device.StudyStart
+	}
+	if (to == clock.Month{}) {
+		to = device.StudyEnd
+	}
+	return from, to
 }
 
 // NewStudy builds a fresh testbed with the gateway mirror armed.
@@ -113,9 +147,12 @@ func (s *Study) RunPassiveWindow(from, to clock.Month) (*traffic.Stats, error) {
 }
 
 // advanceToActiveWindow moves the virtual clock to the 2021 snapshot.
+// Lingering server handlers are joined first so no handshake span gets
+// stamped across the jump.
 func (s *Study) advanceToActiveWindow() {
 	at := device.ActiveSnapshot.Start()
 	if s.Clock.Now().Before(at) {
+		s.Network.WaitHandlers()
 		s.Clock.AdvanceTo(at)
 	}
 }
@@ -138,7 +175,7 @@ func (s *Study) CaptureActiveSnapshot() (*capture.Store, error) {
 	pool.Run(s.Parallelism, len(devs), func(_, i int) {
 		driver.Boot(s.Network, devs[i], device.ActiveSnapshot, uint64(i)*100000)
 	})
-	if err := col.WaitIdle(10 * time.Second); err != nil {
+	if err := col.WaitIdlePatient(10*time.Second, 2); err != nil {
 		sp.End("lagging")
 		return store, fmt.Errorf("core: active capture lagging (%d observations stored): %w", store.Len(), err)
 	}
@@ -154,6 +191,9 @@ func (s *Study) RunInterceptionSuite() []*mitm.InterceptionReport {
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.InterceptionReport, len(devs))
 	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+		defer s.recoverDevice("interception", devs[i].ID, func() {
+			out[i] = &mitm.InterceptionReport{Device: devs[i].ID}
+		})
 		out[i] = s.Proxy.RunInterception(devs[i])
 	})
 	return out
@@ -168,6 +208,9 @@ func (s *Study) RunDowngradeSuite() []*mitm.DowngradeReport {
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.DowngradeReport, len(devs))
 	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+		defer s.recoverDevice("downgrade", devs[i].ID, func() {
+			out[i] = &mitm.DowngradeReport{Device: devs[i].ID}
+		})
 		out[i] = s.Proxy.RunDowngrade(devs[i])
 	})
 	return out
@@ -183,7 +226,12 @@ func (s *Study) RunOldVersionSuite() []*mitm.OldVersionReport {
 	defer sp.End("ok")
 	var out []*mitm.OldVersionReport
 	for _, dev := range s.Registry.ActiveDevices() {
-		out = append(out, mitm.RunOldVersionCheck(s.Network, s.Cloud, dev))
+		func() {
+			defer s.recoverDevice("old_version", dev.ID, func() {
+				out = append(out, &mitm.OldVersionReport{Device: dev.ID})
+			})
+			out = append(out, mitm.RunOldVersionCheck(s.Network, s.Cloud, dev))
+		}()
 	}
 	return out
 }
@@ -197,6 +245,9 @@ func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.PassthroughReport, len(devs))
 	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+		defer s.recoverDevice("passthrough", devs[i].ID, func() {
+			out[i] = &mitm.PassthroughReport{Device: devs[i].ID}
+		})
 		out[i] = s.Proxy.RunPassthrough(devs[i])
 	})
 	return out
@@ -234,49 +285,70 @@ type Report struct {
 	Passthrough *analysis.PassthroughStat
 	Dataset     *analysis.DatasetSummary
 	Diversity   *analysis.VersionDiversity
+
+	// Degradations lists every contained incident of the run, in
+	// deterministic order; empty on a clean study.
+	Degradations []Degradation
 }
 
 // RunAll executes the complete study: passive collection, every active
-// experiment, the probe, and all analyses.
+// experiment, the probe, and all analyses. Every phase runs contained:
+// a failure (error or panic) degrades the report instead of aborting
+// it, so a fault-ridden study still renders — with the damage listed in
+// Report.Degradations and annotated in the rendered output. The error
+// return is always nil today; it is kept for interface stability.
 func (s *Study) RunAll() (*Report, error) {
 	sp := s.phaseSpan("all")
 	defer func() { sp.End("done") }()
 	rep := &Report{}
-	var err error
-	if rep.PassiveStats, err = s.RunPassive(); err != nil {
-		return nil, fmt.Errorf("passive: %w", err)
-	}
-
 	nameOf := s.NameOf
-	rep.Figure1 = analysis.BuildFigure1(s.Store, nameOf)
-	rep.Figure2 = analysis.BuildFigure2(s.Store, nameOf)
-	rep.Figure3 = analysis.BuildFigure3(s.Store, nameOf)
-	rep.Comparison = analysis.BuildPriorWorkComparison(s.Store)
-	rep.Dataset = analysis.BuildDatasetSummary(s.Store)
-	rep.Diversity = analysis.BuildVersionDiversity(s.Store, nameOf)
-	rep.Table8 = analysis.BuildTable8(s.Store, s.deviceIDs(), nameOf)
 
-	activeStore, err := s.CaptureActiveSnapshot()
-	if err != nil {
-		return nil, fmt.Errorf("active capture: %w", err)
-	}
-	rep.Figure5 = analysis.BuildFigure5(activeStore, device.ReferenceDB(), nameOf)
+	s.phase("passive", func() error {
+		var err error
+		from, to := s.passiveWindow()
+		rep.PassiveStats, err = s.RunPassiveWindow(from, to)
+		return err
+	})
+
+	s.phase("passive_analysis", func() error {
+		rep.Figure1 = analysis.BuildFigure1(s.Store, nameOf)
+		rep.Figure2 = analysis.BuildFigure2(s.Store, nameOf)
+		rep.Figure3 = analysis.BuildFigure3(s.Store, nameOf)
+		rep.Comparison = analysis.BuildPriorWorkComparison(s.Store)
+		rep.Dataset = analysis.BuildDatasetSummary(s.Store)
+		rep.Diversity = analysis.BuildVersionDiversity(s.Store, nameOf)
+		rep.Table8 = analysis.BuildTable8(s.Store, s.deviceIDs(), nameOf)
+		return nil
+	})
+
+	s.phase("active_capture", func() error {
+		activeStore, err := s.CaptureActiveSnapshot()
+		if activeStore != nil {
+			rep.Figure5 = analysis.BuildFigure5(activeStore, device.ReferenceDB(), nameOf)
+		}
+		return err
+	})
 
 	rep.Table4Rows = analysis.BuildTable4()
-	rep.Downgrades = s.RunDowngradeSuite()
-	rep.OldVersions = s.RunOldVersionSuite()
-	rep.Interceptions = s.RunInterceptionSuite()
+	s.phase("downgrade", func() error { rep.Downgrades = s.RunDowngradeSuite(); return nil })
+	s.phase("old_version", func() error { rep.OldVersions = s.RunOldVersionSuite(); return nil })
+	s.phase("interception", func() error { rep.Interceptions = s.RunInterceptionSuite(); return nil })
 
-	probeReports, _, err := s.RunProbe()
-	if err != nil {
-		return nil, fmt.Errorf("probe: %w", err)
-	}
-	rep.ProbeReports = probeReports
-	rep.Figure4 = analysis.BuildFigure4(probeReports, nameOf)
+	s.phase("probe", func() error {
+		probeReports, _, err := s.RunProbe()
+		rep.ProbeReports = probeReports
+		rep.Figure4 = analysis.BuildFigure4(probeReports, nameOf)
+		return err
+	})
 
-	passthrough := s.RunPassthroughSuite()
-	rep.Passthrough = analysis.BuildPassthroughStat(passthrough)
-	rep.Passthrough.NoNewValidationFailures = s.verifyNoNewFailures(passthrough, rep.Interceptions)
+	s.phase("passthrough", func() error {
+		passthrough := s.RunPassthroughSuite()
+		rep.Passthrough = analysis.BuildPassthroughStat(passthrough)
+		rep.Passthrough.NoNewValidationFailures = s.verifyNoNewFailures(passthrough, rep.Interceptions)
+		return nil
+	})
+
+	rep.Degradations = s.Degradations()
 	return rep, nil
 }
 
@@ -328,46 +400,56 @@ func (s *Study) deviceIDs() []string {
 	return out
 }
 
-// Render produces the full textual report.
+// section appends one artifact to the report, tolerating a renderer
+// that panics on degraded inputs (e.g. a nil figure): the artifact is
+// replaced with an explicit placeholder so the report always renders.
+func section(b *strings.Builder, render func() string) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(b, "[PARTIAL: artifact unavailable — %v]\n\n", p)
+		}
+	}()
+	b.WriteString(render())
+	b.WriteByte('\n')
+}
+
+// Render produces the full textual report. A degraded study renders
+// with a leading banner, placeholder sections for artifacts whose data
+// was lost, and a trailing degradation log; a clean study renders
+// exactly as before.
 func (r *Report) Render(s *Study) string {
 	var b strings.Builder
 	nameOf := s.NameOf
-	b.WriteString(analysis.RenderTable1(s.Registry))
-	b.WriteByte('\n')
-	b.WriteString(analysis.RenderTable2())
-	b.WriteByte('\n')
-	b.WriteString(analysis.RenderTable3())
-	b.WriteByte('\n')
-	b.WriteString(analysis.RenderTable4(r.Table4Rows))
-	b.WriteByte('\n')
-	b.WriteString(r.Figure1.Render())
-	b.WriteByte('\n')
-	b.WriteString(r.Figure2.Render())
-	b.WriteByte('\n')
-	b.WriteString(r.Figure3.Render())
-	b.WriteByte('\n')
-	b.WriteString(analysis.RenderTable5(r.Downgrades, nameOf))
-	b.WriteByte('\n')
-	b.WriteString(analysis.RenderTable6(r.OldVersions, nameOf))
-	b.WriteByte('\n')
-	b.WriteString(analysis.RenderTable7(r.Interceptions, nameOf))
-	b.WriteByte('\n')
-	b.WriteString(r.Table8.Render())
-	b.WriteByte('\n')
-	b.WriteString(analysis.RenderTable9(r.ProbeReports, nameOf))
-	b.WriteByte('\n')
-	b.WriteString(r.Figure4.Render())
-	b.WriteByte('\n')
-	b.WriteString(r.Figure5.Render())
-	b.WriteByte('\n')
-	b.WriteString(r.Comparison.Render())
-	b.WriteByte('\n')
-	b.WriteString(r.Passthrough.Render())
-	b.WriteByte('\n')
-	b.WriteString(r.Dataset.Render())
-	b.WriteByte('\n')
-	b.WriteString(r.Diversity.Render())
-	return b.String()
+	if r.Degraded() {
+		fmt.Fprintf(&b, "!! DEGRADED STUDY: %d incident(s) contained; see the degradation log at the end.\n\n", len(r.Degradations))
+	}
+	section(&b, func() string { return analysis.RenderTable1(s.Registry) })
+	section(&b, func() string { return analysis.RenderTable2() })
+	section(&b, func() string { return analysis.RenderTable3() })
+	section(&b, func() string { return analysis.RenderTable4(r.Table4Rows) })
+	section(&b, r.Figure1.Render)
+	section(&b, r.Figure2.Render)
+	section(&b, r.Figure3.Render)
+	section(&b, func() string { return analysis.RenderTable5(r.Downgrades, nameOf) })
+	section(&b, func() string { return analysis.RenderTable6(r.OldVersions, nameOf) })
+	section(&b, func() string { return analysis.RenderTable7(r.Interceptions, nameOf) })
+	section(&b, r.Table8.Render)
+	section(&b, func() string { return analysis.RenderTable9(r.ProbeReports, nameOf) })
+	section(&b, r.Figure4.Render)
+	section(&b, r.Figure5.Render)
+	section(&b, r.Comparison.Render)
+	section(&b, r.Passthrough.Render)
+	section(&b, r.Dataset.Render)
+	out := b.String()
+	// The last artifact carries no trailing blank line, preserving the
+	// clean-study render byte for byte.
+	var tail strings.Builder
+	section(&tail, r.Diversity.Render)
+	out += strings.TrimSuffix(tail.String(), "\n")
+	if r.Degraded() {
+		out += "\n\n" + degradationLog(r.Degradations)
+	}
+	return out
 }
 
 // FingerprintDB exposes the reference database (re-exported for

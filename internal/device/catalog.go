@@ -97,6 +97,9 @@ func catalog() []*Device {
 			d("api.yitechnology.com", 0, true, 7000, SrvRSAOnly, true),
 		},
 		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+		// One shot, then give up — consistent with the firmware that also
+		// disables validation after repeated failures (tmplYiGiveUp).
+		Resilience: &Resilience{MaxRetries: 1, Strategy: RetryImmediate},
 	})
 
 	devices = append(devices, &Device{
@@ -204,6 +207,9 @@ func catalog() []*Device {
 		},
 		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
 		Plan: &RootPlan{CommonIncluded: 109, CommonConclusive: 119, DeprecatedIncluded: 27, DeprecatedConclusive: 72},
+		// Legacy OpenSSL build: persistent reconnect with long backoff.
+		Resilience: &Resilience{MaxRetries: 4, Strategy: RetryExponential,
+			BaseDelay: 2 * time.Second, MaxDelay: 2 * time.Minute, JitterFrac: 0.5},
 	})
 
 	devices = append(devices, &Device{
@@ -399,6 +405,9 @@ func catalog() []*Device {
 			d("play.itunes.apple.com", 0, false, 12000, SrvModern12, true),
 		},
 		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+		// Well-engineered stack: short jittered exponential backoff.
+		Resilience: &Resilience{MaxRetries: 2, Strategy: RetryExponential,
+			BaseDelay: 250 * time.Millisecond, MaxDelay: 5 * time.Second, JitterFrac: 0.1},
 	})
 
 	// ---------------- Audio (7) ----------------
@@ -581,6 +590,8 @@ func catalog() []*Device {
 			d("api.smarter.am", 0, true, 700, SrvRSAOnly, true),
 		},
 		ActiveFrom: StudyStart, ActiveTo: StudyEnd,
+		// No retry logic at all: one failure and the kettle stays offline.
+		Resilience: &Resilience{MaxRetries: 0},
 	})
 
 	devices = append(devices, &Device{

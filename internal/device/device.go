@@ -174,6 +174,9 @@ type Device struct {
 	// Plan is the Table 9 root-store plan; nil for devices that are not
 	// probe targets.
 	Plan *RootPlan
+	// Resilience overrides the category-default retry policy; nil means
+	// DefaultResilience(Category). See ResiliencePolicy.
+	Resilience *Resilience
 	// SensitiveToken, when non-empty, is included in the device's
 	// application payloads — the "potentially sensitive data" the paper
 	// recovered from 7 of the 11 intercepted devices (§5.2).

@@ -1,0 +1,114 @@
+// Resilience models how a device reacts to transient connection
+// failures: how many times it retries, how it paces the retries, and
+// when it gives up. Real IoT firmware spans the whole spectrum — from
+// cameras that hammer the cloud endpoint immediately to hubs with
+// disciplined capped exponential backoff — and the fault-injection
+// experiments need that spread to measure recovery behaviour per
+// category.
+//
+// Backoff delays are expressed in *virtual* time: the driver accounts
+// them against the simulated clock's timeline (telemetry bookkeeping),
+// never as wall-clock sleeps, so fault campaigns stay fast and
+// deterministic.
+package device
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+)
+
+// RetryStrategy selects how retry delays grow.
+type RetryStrategy int
+
+const (
+	// RetryImmediate retries with no delay (aggressive firmware).
+	RetryImmediate RetryStrategy = iota
+	// RetryExponential doubles a base delay per attempt, capped.
+	RetryExponential
+)
+
+// String implements fmt.Stringer.
+func (s RetryStrategy) String() string {
+	if s == RetryExponential {
+		return "exponential"
+	}
+	return "immediate"
+}
+
+// Resilience is a device's connection-retry policy.
+type Resilience struct {
+	// MaxRetries bounds retries after the initial attempt; when every
+	// attempt fails the device gives up on the connection.
+	MaxRetries int
+	// Strategy selects the pacing model.
+	Strategy RetryStrategy
+	// BaseDelay is the first retry's delay under RetryExponential.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// JitterFrac adds a seeded fraction of the delay (0..JitterFrac) so
+	// retry storms decorrelate without sacrificing determinism.
+	JitterFrac float64
+}
+
+// Delay returns the virtual-time delay before retry attempt (1-based).
+// jitterSeed must come from RetryJitter so the jitter is a pure
+// function of (device, endpoint, attempt).
+func (r Resilience) Delay(attempt int, jitterSeed uint64) time.Duration {
+	if r.Strategy == RetryImmediate || r.BaseDelay <= 0 || attempt < 1 {
+		return 0
+	}
+	d := r.BaseDelay << uint(attempt-1)
+	if r.MaxDelay > 0 && (d > r.MaxDelay || d < 0) {
+		d = r.MaxDelay
+	}
+	if r.JitterFrac > 0 {
+		frac := float64(jitterSeed>>11) / (1 << 53) * r.JitterFrac
+		d += time.Duration(float64(d) * frac)
+	}
+	return d
+}
+
+// RetryJitter derives the deterministic jitter seed for one retry.
+func RetryJitter(devID, host string, attempt int) uint64 {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(attempt))
+	sum := sha256.Sum256(append([]byte("retry-jitter:"+devID+":"+host+":"), buf[:]...))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// DefaultResilience returns the per-category retry policy used when a
+// device has no explicit override.
+func DefaultResilience(c Category) Resilience {
+	switch c {
+	case CatCamera:
+		// Cameras reconnect aggressively: a dropped stream is lost footage.
+		return Resilience{MaxRetries: 2, Strategy: RetryImmediate}
+	case CatHub:
+		// Hubs ship the most disciplined firmware.
+		return Resilience{MaxRetries: 3, Strategy: RetryExponential,
+			BaseDelay: time.Second, MaxDelay: 30 * time.Second, JitterFrac: 0.25}
+	case CatAutomation:
+		return Resilience{MaxRetries: 2, Strategy: RetryExponential,
+			BaseDelay: 2 * time.Second, MaxDelay: 60 * time.Second, JitterFrac: 0.25}
+	case CatTV:
+		// TVs surface errors to the user instead of retrying hard.
+		return Resilience{MaxRetries: 1, Strategy: RetryImmediate}
+	case CatAudio:
+		return Resilience{MaxRetries: 2, Strategy: RetryExponential,
+			BaseDelay: 500 * time.Millisecond, MaxDelay: 10 * time.Second, JitterFrac: 0.25}
+	default: // appliances: connectivity is incidental to function
+		return Resilience{MaxRetries: 1, Strategy: RetryExponential,
+			BaseDelay: 5 * time.Second, MaxDelay: 5 * time.Second}
+	}
+}
+
+// ResiliencePolicy returns the device's retry policy: the explicit
+// override when set, the category default otherwise.
+func (d *Device) ResiliencePolicy() Resilience {
+	if d.Resilience != nil {
+		return *d.Resilience
+	}
+	return DefaultResilience(d.Category)
+}

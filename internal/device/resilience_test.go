@@ -1,0 +1,65 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestDelayExponentialCapped(t *testing.T) {
+	r := Resilience{MaxRetries: 5, Strategy: RetryExponential,
+		BaseDelay: time.Second, MaxDelay: 4 * time.Second}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i, w := range want {
+		if got := r.Delay(i+1, 0); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayImmediate(t *testing.T) {
+	r := Resilience{MaxRetries: 2, Strategy: RetryImmediate}
+	if got := r.Delay(1, 12345); got != 0 {
+		t.Fatalf("immediate Delay = %v, want 0", got)
+	}
+}
+
+func TestDelayJitterDeterministic(t *testing.T) {
+	r := Resilience{Strategy: RetryExponential, BaseDelay: time.Second,
+		MaxDelay: time.Minute, JitterFrac: 0.5}
+	s1 := RetryJitter("dev-a", "s.example", 1)
+	s2 := RetryJitter("dev-b", "s.example", 1)
+	if s1 == s2 {
+		t.Fatal("jitter seeds collide across devices")
+	}
+	a, b := r.Delay(1, s1), r.Delay(1, s1)
+	if a != b {
+		t.Fatalf("same seed gave %v then %v", a, b)
+	}
+	if a < time.Second || a > time.Second+time.Second/2 {
+		t.Fatalf("jittered delay %v outside [1s, 1.5s]", a)
+	}
+}
+
+func TestResiliencePolicyOverrides(t *testing.T) {
+	reg := NewRegistry(clock.NewSimulated(StudyStart.Start()))
+	yi, _ := reg.Get("yi-camera")
+	if p := yi.ResiliencePolicy(); p.MaxRetries != 1 || p.Strategy != RetryImmediate {
+		t.Fatalf("yi-camera policy = %+v, want explicit override", p)
+	}
+	kettle, _ := reg.Get("smarter-ikettle")
+	if p := kettle.ResiliencePolicy(); p.MaxRetries != 0 {
+		t.Fatalf("smarter-ikettle policy = %+v, want MaxRetries 0", p)
+	}
+	// A device with no override gets its category default.
+	blink, _ := reg.Get("blink-camera")
+	if p := blink.ResiliencePolicy(); p != DefaultResilience(CatCamera) {
+		t.Fatalf("blink-camera policy = %+v, want category default", p)
+	}
+	for _, c := range Categories {
+		if DefaultResilience(c).MaxRetries < 0 {
+			t.Fatalf("category %s has negative MaxRetries", c)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/ciphers"
 	"repro/internal/clock"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/netem"
 	"repro/internal/tlssim"
 )
@@ -42,6 +43,16 @@ type Outcome struct {
 	ValidationBypassed bool
 	// Reply is the application-layer response received, if any.
 	Reply string
+
+	// Retries counts resilience-policy retry attempts (fault campaigns
+	// only; zero on a clean network).
+	Retries int
+	// BackoffVirtual is the total virtual-time backoff the device spent
+	// between retries (accounting only, never a wall-clock sleep).
+	BackoffVirtual time.Duration
+	// GaveUp reports the device exhausted its retry budget on a
+	// transient failure.
+	GaveUp bool
 }
 
 // Connect dials one destination as dev would in month m, honouring
@@ -57,6 +68,33 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 	cfg.Telemetry = tel
 
 	sess, err := dialAndHandshake(nw, dev, dst, cfg, seq)
+
+	// Under an armed fault plan, transient failures engage the device's
+	// retry policy. The gate on FaultPlan keeps clean-network runs on
+	// the exact pre-fault code path, so baseline artifacts are
+	// unchanged. Retry attempts perturb the hello-random seed by a
+	// fixed prime so a retried handshake is a *new* handshake, while
+	// staying clear of the seq+1 the fallback attempt uses.
+	if err != nil && nw.FaultPlan() != nil {
+		pol := dev.ResiliencePolicy()
+		for attempt := 1; attempt <= pol.MaxRetries && retryable(err); attempt++ {
+			if d := pol.Delay(attempt, device.RetryJitter(dev.ID, dst.Host, attempt)); d > 0 {
+				out.BackoffVirtual += d
+				tel.Counter("driver.retry_backoff_virtual_ms").Add(d.Milliseconds())
+			}
+			out.Retries++
+			tel.Counter("driver.retries").Inc()
+			sess, err = dialAndHandshake(nw, dev, dst, cfg, seq+uint64(attempt)*7919)
+			if err == nil {
+				tel.Counter("driver.retries.established").Inc()
+			}
+		}
+		if err != nil && retryable(err) {
+			out.GaveUp = true
+			tel.Counter("driver.giveups").Inc()
+		}
+	}
+
 	if err == nil {
 		finish(&out, sess, dev, dst)
 		return out
@@ -134,6 +172,28 @@ func finish(out *Outcome, sess *tlssim.Session, dev *device.Device, dst device.D
 	n, err := sess.Conn.Read(buf)
 	if err == nil {
 		out.Reply = string(buf[:n])
+	}
+}
+
+// retryable reports whether a failure looks transient from the
+// device's perspective: an injected network fault, or a handshake that
+// died of connection trouble (timeout, abrupt close, I/O error) rather
+// than a protocol-level rejection. Alerts and certificate failures are
+// deterministic — retrying the same configuration cannot help, and the
+// fallback logic owns those.
+func retryable(err error) bool {
+	if errors.Is(err, fault.ErrInjected) {
+		return true
+	}
+	var he *tlssim.HandshakeError
+	if !errors.As(err, &he) {
+		return false
+	}
+	switch he.Class {
+	case tlssim.FailIncomplete, tlssim.FailPeerClosed, tlssim.FailIO:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -1,0 +1,97 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/fault"
+)
+
+func TestRetryExhaustionGivesUp(t *testing.T) {
+	nw, reg, _, _, _ := testbed(t)
+	// Every dial fails: the device must burn its whole retry budget,
+	// accrue virtual backoff, and then give up.
+	nw.SetFaultPlan(fault.NewPlan(1, fault.Profile{Name: "all-dialfail", DialFail: 1}))
+	dev, _ := reg.Get("google-home-mini") // audio default: 2 retries, exponential
+	dst := dev.BootDestinations()[0]
+	out := Connect(nw, dev, dst, device.StudyStart, 1)
+	if out.Established {
+		t.Fatal("established through a 100% dial-fail plan")
+	}
+	if !errors.Is(out.Err, fault.ErrInjected) {
+		t.Fatalf("Err = %v, want fault.ErrInjected", out.Err)
+	}
+	pol := dev.ResiliencePolicy()
+	if out.Retries != pol.MaxRetries {
+		t.Errorf("Retries = %d, want %d", out.Retries, pol.MaxRetries)
+	}
+	if !out.GaveUp {
+		t.Error("GaveUp = false after exhausting retries")
+	}
+	if out.BackoffVirtual <= 0 {
+		t.Error("no virtual backoff accrued on an exponential policy")
+	}
+	tel := nw.Telemetry()
+	if got := tel.Counter("driver.retries").Value(); got != int64(pol.MaxRetries) {
+		t.Errorf("driver.retries = %d, want %d", got, pol.MaxRetries)
+	}
+	if got := tel.Counter("driver.giveups").Value(); got != 1 {
+		t.Errorf("driver.giveups = %d, want 1", got)
+	}
+	if tel.Counter("driver.retry_backoff_virtual_ms").Value() <= 0 {
+		t.Error("driver.retry_backoff_virtual_ms = 0, want > 0")
+	}
+}
+
+func TestRetryRecoversTransientFaults(t *testing.T) {
+	nw, reg, _, _, _ := testbed(t)
+	nw.SetFaultPlan(fault.NewPlan(7, fault.Profile{Name: "half-dialfail", DialFail: 0.5}))
+	dev, _ := reg.Get("google-home-mini")
+	dst := dev.BootDestinations()[0]
+	established := 0
+	for i := 0; i < 50; i++ {
+		if Connect(nw, dev, dst, device.StudyStart, uint64(i)*31).Established {
+			established++
+		}
+	}
+	tel := nw.Telemetry()
+	recovered := tel.Counter("driver.retries.established").Value()
+	if recovered == 0 {
+		t.Fatal("no connection ever recovered via retry at a 50% fault rate")
+	}
+	// Retries must raise establishment well above the no-retry rate.
+	if established < 35 {
+		t.Errorf("established %d/50 with 2 retries against 50%% dial-fail, want >= 35", established)
+	}
+}
+
+func TestNoRetryMachineryWithoutPlan(t *testing.T) {
+	nw, reg, _, _, _ := testbed(t)
+	dev, _ := reg.Get("google-home-mini")
+	dst := dev.BootDestinations()[0]
+	out := Connect(nw, dev, dst, device.StudyStart, 1)
+	if !out.Established {
+		t.Fatalf("clean connect failed: %v", out.Err)
+	}
+	if out.Retries != 0 || out.GaveUp || out.BackoffVirtual != 0 {
+		t.Fatalf("retry fields set on a clean network: %+v", out)
+	}
+	tel := nw.Telemetry()
+	for _, c := range []string{"driver.retries", "driver.giveups", "driver.retry_backoff_virtual_ms"} {
+		if v := tel.Counter(c).Value(); v != 0 {
+			t.Errorf("%s = %d on a clean network, want 0", c, v)
+		}
+	}
+}
+
+func TestZeroRetryDeviceGivesUpImmediately(t *testing.T) {
+	nw, reg, _, _, _ := testbed(t)
+	nw.SetFaultPlan(fault.NewPlan(1, fault.Profile{Name: "all-dialfail", DialFail: 1}))
+	dev, _ := reg.Get("smarter-ikettle") // explicit MaxRetries: 0
+	dst := dev.BootDestinations()[0]
+	out := Connect(nw, dev, dst, device.StudyStart, 1)
+	if out.Retries != 0 || !out.GaveUp {
+		t.Fatalf("kettle outcome = %+v, want zero retries and GaveUp", out)
+	}
+}

@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var testAt = time.Date(2018, 6, 15, 0, 0, 0, 0, time.UTC)
+
+// decideAll runs n decisions for each of the given keys and returns the
+// flattened per-key decision sequences.
+func decideAll(p *Plan, keys []string, n int) map[string][]Decision {
+	out := make(map[string][]Decision)
+	for _, k := range keys {
+		for i := 0; i < n; i++ {
+			out[k] = append(out[k], p.Decide(k, "s.example:443", testAt))
+		}
+	}
+	return out
+}
+
+// TestDecideDeterministic is the subsystem's core guarantee: the same
+// seed and per-key dial sequence yield identical decisions regardless
+// of how calls for different keys interleave.
+func TestDecideDeterministic(t *testing.T) {
+	keys := []string{"dev-a", "dev-b", "dev-c", "dev-d"}
+	const n = 200
+
+	sequential := decideAll(NewPlan(42, Profiles["aggressive"]), keys, n)
+
+	// Interleaved: one goroutine per key, racing each other.
+	p := NewPlan(42, Profiles["aggressive"])
+	interleaved := make(map[string][]Decision)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			var ds []Decision
+			for i := 0; i < n; i++ {
+				ds = append(ds, p.Decide(key, "s.example:443", testAt))
+			}
+			mu.Lock()
+			interleaved[key] = ds
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+
+	for _, k := range keys {
+		for i := range sequential[k] {
+			if sequential[k][i] != interleaved[k][i] {
+				t.Fatalf("key %s dial %d: sequential %+v != interleaved %+v",
+					k, i, sequential[k][i], interleaved[k][i])
+			}
+		}
+	}
+}
+
+// TestCountsMatchDecisions checks the plan's fault tally against a
+// recount of its own decisions.
+func TestCountsMatchDecisions(t *testing.T) {
+	p := NewPlan(7, Profiles["aggressive"])
+	want := map[string]int64{}
+	for i := 0; i < 500; i++ {
+		d := p.Decide("dev", "s.example:443", testAt)
+		if d.Kind != KindNone {
+			want[d.Kind.String()]++
+		}
+		if d.Delay > 0 {
+			want[KindLatency.String()]++
+		}
+	}
+	got := p.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("Counts() = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Counts()[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestProfileRates sanity-checks the empirical fault rate against the
+// configured one over a large sample, and that the aggressive profile
+// satisfies the chaos matrix's >=20% connection-fault floor.
+func TestProfileRates(t *testing.T) {
+	prof := Profiles["aggressive"]
+	if r := prof.ConnFaultRate(); r < 0.20 {
+		t.Fatalf("aggressive profile conn-fault rate %.3f, want >= 0.20", r)
+	}
+	p := NewPlan(1, prof)
+	const n = 20000
+	faults := 0
+	for i := 0; i < n; i++ {
+		if p.Decide("dev", "s.example:443", testAt).Kind != KindNone {
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	// Flaky windows push the rate above ConnFaultRate; allow slack both
+	// ways but require the same order of magnitude.
+	if got < prof.ConnFaultRate()*0.7 || got > prof.ConnFaultRate()*2 {
+		t.Errorf("empirical fault rate %.3f, configured %.3f", got, prof.ConnFaultRate())
+	}
+}
+
+// TestSeedsDiffer ensures different seeds yield different schedules.
+func TestSeedsDiffer(t *testing.T) {
+	a := NewPlan(1, Profiles["aggressive"])
+	b := NewPlan(2, Profiles["aggressive"])
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		if a.Decide("dev", "s.example:443", testAt) == b.Decide("dev", "s.example:443", testAt) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seeds 1 and 2 produced identical decision streams")
+	}
+}
+
+// TestOffProfileInjectsNothing checks the empty profile is a no-op.
+func TestOffProfileInjectsNothing(t *testing.T) {
+	p := NewPlan(9, Profiles["off"])
+	for i := 0; i < 100; i++ {
+		d := p.Decide("dev", "s.example:443", testAt)
+		if d.Kind != KindNone || d.Delay != 0 {
+			t.Fatalf("off profile injected %+v", d)
+		}
+	}
+	if c := p.Counts(); len(c) != 0 {
+		t.Fatalf("off profile counted faults: %v", c)
+	}
+}
+
+// TestFlakyWindowsAreMonthly checks a flaky endpoint window flips with
+// the month, not per dial: some (endpoint, month) pairs fail far more
+// often than the base rate.
+func TestFlakyWindowsAreMonthly(t *testing.T) {
+	prof := Profile{Name: "flaky-only", FlakyWindows: 0.5, FlakyDialFail: 1.0}
+	p := NewPlan(3, prof)
+	flakyMonths := 0
+	for m := 0; m < 24; m++ {
+		at := time.Date(2018+m/12, time.Month(1+m%12), 15, 0, 0, 0, 0, time.UTC)
+		fails := 0
+		for i := 0; i < 20; i++ {
+			if p.Decide("dev", "s.example:443", at).Kind == KindDialFail {
+				fails++
+			}
+		}
+		// With FlakyDialFail=1 a flaky window fails every dial; a
+		// healthy one never fails.
+		switch fails {
+		case 20:
+			flakyMonths++
+		case 0:
+		default:
+			t.Fatalf("month %d: %d/20 failures — window decision not stable within the month", m, fails)
+		}
+	}
+	if flakyMonths == 0 || flakyMonths == 24 {
+		t.Errorf("flakyMonths = %d/24, want a mix", flakyMonths)
+	}
+}
+
+// TestNonTLSDestinationsGetDialFaultsOnly checks record-level surgery
+// is never scheduled for non-TLS (port-80) destinations.
+func TestNonTLSDestinationsGetDialFaultsOnly(t *testing.T) {
+	p := NewPlan(5, Profiles["aggressive"])
+	for i := 0; i < 2000; i++ {
+		d := p.Decide("dev", "ocsp.example:80", testAt)
+		switch d.Kind {
+		case KindNone, KindDialFail:
+		default:
+			t.Fatalf("non-TLS destination scheduled %s", d.Kind)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package netem
 import (
 	"io"
 	"net"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 )
@@ -73,6 +75,54 @@ func TestDropBypassesTap(t *testing.T) {
 	conn.Close()
 	if tapped != 0 {
 		t.Fatalf("tap consulted %d times for dropped connections", tapped)
+	}
+}
+
+// TestDropEveryNParallelDeterminism checks the impairment's drop
+// accounting is scheduling-independent: the dropped count and the set
+// of dropped connection ordinals are identical whether 64 dials happen
+// sequentially or from eight goroutines.
+func TestDropEveryNParallelDeterminism(t *testing.T) {
+	const dials, every = 64, 4
+	run := func(workers int) (int, []int) {
+		n, _ := newTestNetwork()
+		n.Listen("s.com", 443, echoHandler)
+		n.SetImpairment(Impairment{DropEveryN: every})
+		var wg sync.WaitGroup
+		per := dials / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					conn, err := n.Dial("d", "s.com", 443)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					conn.Close()
+				}
+			}()
+		}
+		wg.Wait()
+		return n.Dropped(), n.DroppedOrdinals()
+	}
+
+	seqCount, seqOrds := run(1)
+	parCount, parOrds := run(8)
+	if seqCount != parCount || seqCount != dials/every {
+		t.Fatalf("dropped = %d sequential, %d parallel, want %d", seqCount, parCount, dials/every)
+	}
+	// Drop order can vary with scheduling; the ordinal *set* cannot.
+	sort.Ints(seqOrds)
+	sort.Ints(parOrds)
+	for i := range seqOrds {
+		if seqOrds[i] != parOrds[i] {
+			t.Fatalf("dropped ordinals differ: %v vs %v", seqOrds, parOrds)
+		}
+		if want := (i + 1) * every; seqOrds[i] != want {
+			t.Fatalf("ordinal %d = %d, want %d", i, seqOrds[i], want)
+		}
 	}
 }
 

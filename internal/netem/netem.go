@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
 
@@ -81,14 +82,20 @@ type Network struct {
 	clk clock.Clock
 	tel *telemetry.Registry
 
-	mu         sync.RWMutex
-	listeners  map[string]Handler
-	tap        Tap
-	taps       []*tapEntry
-	mirror     MirrorFactory
-	connCount  int
-	impairment Impairment
-	dropped    int
+	mu              sync.RWMutex
+	listeners       map[string]Handler
+	tap             Tap
+	taps            []*tapEntry
+	mirror          MirrorFactory
+	connCount       int
+	impairment      Impairment
+	dropped         int
+	droppedOrdinals []int
+	faults          *fault.Plan
+
+	// handlers counts in-flight server handler goroutines, so barriers
+	// can join them before the virtual clock moves.
+	handlers sync.WaitGroup
 }
 
 // tapEntry is one AddTap registration, boxed so the remove closure can
@@ -186,6 +193,33 @@ func (n *Network) Dropped() int {
 	return n.dropped
 }
 
+// DroppedOrdinals returns the global connection ordinals (1-based
+// ConnCount positions) the impairment black-holed, in drop order. The
+// ordinal set is a function of DropEveryN alone, so it is identical at
+// any worker count even though which logical dial lands on an ordinal
+// is scheduling-dependent.
+func (n *Network) DroppedOrdinals() []int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]int(nil), n.droppedOrdinals...)
+}
+
+// SetFaultPlan arms (or, with nil, disarms) deterministic fault
+// injection at the gateway. Device runtimes read the armed plan to
+// decide whether their resilience policies are in effect.
+func (n *Network) SetFaultPlan(p *fault.Plan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = p
+}
+
+// FaultPlan returns the armed fault plan, or nil.
+func (n *Network) FaultPlan() *fault.Plan {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.faults
+}
+
 // blackHole swallows everything the client sends and never answers.
 // It declares the stall up front, so the client's read fails with a
 // timeout immediately instead of waiting out its handshake deadline —
@@ -217,20 +251,54 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 	mirror := n.mirror
 	handler := n.listeners[meta.Addr()]
 	imp := n.impairment
+	plan := n.faults
 	drop := imp.DropEveryN > 0 && n.connCount%imp.DropEveryN == 0
 	if drop {
 		n.dropped++
+		n.droppedOrdinals = append(n.droppedOrdinals, n.connCount)
 	}
 	n.mu.Unlock()
 
 	n.tel.Counter("netem.dials").Inc()
 	n.tel.Counter("netem.endpoint." + meta.Addr()).Inc()
 
+	// Fault decisions are keyed by (src, dst, per-key ordinal), so
+	// dropped dials must not consume an ordinal — DropEveryN assignment
+	// is global-scheduling-dependent at >1 workers, and letting it
+	// shift the per-key sequence would desynchronize the plan.
+	var dec fault.Decision
+	if plan != nil && !drop {
+		dec = plan.Decide(srcHost, meta.Addr(), meta.At)
+	}
+
 	if imp.DialDelay > 0 {
 		time.Sleep(imp.DialDelay)
 	}
+	if dec.Delay > 0 {
+		n.tel.Counter("netem.faults.latency").Inc()
+		time.Sleep(dec.Delay)
+	}
 	if drop {
 		n.tel.Counter("netem.dials.dropped").Inc()
+		handler = blackHole
+		tap = nil
+		taps = nil
+	}
+	switch dec.Kind {
+	case fault.KindDialFail:
+		n.tel.Counter("netem.faults.dial_fail").Inc()
+		return nil, fmt.Errorf("%w: connection to %s refused", fault.ErrInjected, meta.Addr())
+	case fault.KindReset:
+		// The reset and stall faults hijack the connection before
+		// routing, like a drop: neither the destination nor any
+		// interception tap sees it (the mirror still does — partial
+		// handshakes are signal for the sniffer).
+		n.tel.Counter("netem.faults.reset").Inc()
+		handler = resetAfterHello
+		tap = nil
+		taps = nil
+	case fault.KindStall:
+		n.tel.Counter("netem.faults.stall").Inc()
 		handler = blackHole
 		tap = nil
 		taps = nil
@@ -278,8 +346,34 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 		}
 	}
 
-	go handler(server, meta)
+	// The truncate and corrupt faults let the connection reach its real
+	// handler but degrade the server's writes.
+	var srv net.Conn = server
+	switch dec.Kind {
+	case fault.KindTruncate:
+		n.tel.Counter("netem.faults.truncate").Inc()
+		srv = &truncateConn{Conn: server, entropy: dec.Rand}
+	case fault.KindCorrupt:
+		n.tel.Counter("netem.faults.corrupt").Inc()
+		srv = &corruptConn{Conn: server, entropy: dec.Rand}
+	}
+
+	n.handlers.Add(1)
+	go func() {
+		defer n.handlers.Done()
+		handler(srv, meta)
+	}()
 	return client, nil
+}
+
+// WaitHandlers blocks until every server handler goroutine spawned by
+// Dial has returned. Callers about to advance the virtual clock must
+// wait first: a handler scheduled late would otherwise stamp its spans
+// with post-advance virtual times, making telemetry histograms depend
+// on goroutine scheduling. Callers must ensure no concurrent Dials —
+// barriers are naturally quiescent points.
+func (n *Network) WaitHandlers() {
+	n.handlers.Wait()
 }
 
 // hostAddr is a net.Addr naming a simulated host.

@@ -10,7 +10,8 @@ import (
 
 // ReportSchema versions the JSON metrics report emitted by
 // `iotls metrics`; bump it when the Report shape changes.
-const ReportSchema = "iotls.telemetry/v1"
+// v2 added the fault-injection section (faults, degraded phases).
+const ReportSchema = "iotls.telemetry/v2"
 
 // PhaseStat summarises one study phase from its span-derived
 // instruments (the core.phase.* counters and span.phase.* histograms).
@@ -45,6 +46,11 @@ type Report struct {
 	// Mirror holds the gateway capture counters (frames, connections,
 	// observations).
 	Mirror map[string]int64 `json:"mirror"`
+	// Faults holds the network impairment and fault-injection counters:
+	// dropped dials plus one entry per injected fault kind
+	// (netem.faults.*), the driver's retry/giveup counters, and the
+	// core.degraded.* phase incident counts. Empty on a clean run.
+	Faults map[string]int64 `json:"faults,omitempty"`
 	// Counters is the full deterministic counter set.
 	Counters map[string]int64 `json:"counters"`
 	// Histograms is the full deterministic histogram set.
@@ -73,6 +79,13 @@ func BuildReport(snap *Snapshot, phase string) *Report {
 			rep.Handshakes[strings.TrimPrefix(name, "tlssim.")] = v
 		case strings.HasPrefix(name, "netem.mirror.") || strings.HasPrefix(name, "capture.observations"):
 			rep.Mirror[name] = v
+		case name == "netem.dials.dropped" || strings.HasPrefix(name, "netem.faults.") ||
+			strings.HasPrefix(name, "driver.retr") || name == "driver.giveups" ||
+			strings.HasPrefix(name, "core.degraded."):
+			if rep.Faults == nil {
+				rep.Faults = map[string]int64{}
+			}
+			rep.Faults[name] = v
 		}
 	}
 	rep.Phases = phaseStats(rep.Counters, rep.Histograms)

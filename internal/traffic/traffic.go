@@ -133,11 +133,17 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 
 		// Month barrier: every sniffer has signalled completion before
 		// the next month's clock advance (or the caller's analyses) run.
-		if err := g.Collector.WaitIdle(captureTimeout); err != nil {
+		// Lagging is usually a transiently overloaded host, so the
+		// barrier retries with doubled timeouts before failing the month.
+		if err := g.Collector.WaitIdlePatient(captureTimeout, 2); err != nil {
 			sp.End("lagging")
 			return stats, fmt.Errorf("traffic: capture lagging in %s (%d observations stored): %w",
 				m, g.Collector.Store.Len(), err)
 		}
+		// Server handler goroutines must also finish before the clock
+		// moves, or a late-scheduled handler would stamp its handshake
+		// span with next month's virtual time.
+		g.Network.WaitHandlers()
 		stats.Months++
 		tel.Counter("traffic.months").Inc()
 		sp.End("ok")
