@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build test race race-parallel chaos vet bench bench-telemetry clean
+.PHONY: check build test race race-parallel chaos dataset vet bench bench-telemetry clean
 
 # check is the full verification gate: vet, build, the test suite under
 # the race detector, the parallel-study workload under the race
-# detector at eight workers, and the fault-injection chaos matrix.
-check: vet build race race-parallel chaos
+# detector at eight workers, the fault-injection chaos matrix, and the
+# dataset round-trip and merge determinism suite.
+check: vet build race race-parallel chaos dataset
 
 build:
 	$(GO) build ./...
@@ -32,16 +33,28 @@ race-parallel:
 chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 -timeout 10m ./internal/core/
 
+# dataset pins the persistent-store contracts: capture → persist →
+# restore renders byte-identical artifacts (at 1 and 8 workers, with
+# gzip, under faults), multi-run merges are order-independent down to
+# the on-disk bytes, provenance collisions are rejected, and corrupted
+# shards or manifests always surface wrapped errors.
+dataset:
+	$(GO) test -race -run 'TestRoundTripByteIdentical|TestMerge|TestCorrupt|TestGoldenFixture' \
+		-count=1 -timeout 10m ./internal/dataset/
+
 # bench measures the full study sequential vs parallel (in-memory and
 # with simulated 5ms connection-setup latency) and writes
 # BENCH_study.json; it then measures fault-subsystem overhead
 # (baseline vs armed-but-empty plan vs mild plan) into
-# BENCH_faults.json.
+# BENCH_faults.json, and dataset I/O throughput plus the
+# analyze-from-disk vs resimulate speedup into BENCH_dataset.json.
 bench:
 	$(GO) test ./internal/core/ -run TestEmitStudyBench -count=1 -timeout 30m \
 		-study.benchout=$(CURDIR)/BENCH_study.json
 	$(GO) test ./internal/core/ -run TestEmitFaultsBench -count=1 -timeout 30m \
 		-faults.benchout=$(CURDIR)/BENCH_faults.json
+	$(GO) test ./internal/dataset/ -run TestEmitDatasetBench -count=1 -timeout 30m \
+		-dataset.benchout=$(CURDIR)/BENCH_dataset.json
 
 # bench-telemetry runs the full study through `iotls metrics report`
 # and captures the deterministic telemetry report.

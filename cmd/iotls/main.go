@@ -7,6 +7,9 @@
 //	iotls probe              run root-store exploration and print Table 9 + Figure 4
 //	iotls fingerprint        capture an active snapshot and print Figure 5
 //	iotls report             run the full study and print every artifact
+//	iotls capture -out DIR   run the full study and persist a dataset directory
+//	iotls analyze -in DIR    render every artifact from persisted datasets
+//	iotls dataset ...        inspect or merge dataset directories
 //	iotls tables             print the static methodology tables (1-4)
 //	iotls export -o FILE     run the passive simulation and export observations as JSONL
 //	iotls audit              grade every device's TLS offer via the audit service (§6)
@@ -46,6 +49,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/capture"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/device"
 	"repro/internal/driver"
 	"repro/internal/guard"
@@ -92,6 +96,12 @@ func main() {
 		err = runFingerprint()
 	case "report":
 		err = runReport(args)
+	case "capture":
+		err = runCapture(args)
+	case "analyze":
+		err = runAnalyze(args)
+	case "dataset":
+		err = runDataset(args)
 	case "tables":
 		err = runTables()
 	case "export":
@@ -130,6 +140,14 @@ commands:
   probe        run root-store exploration (Table 9, Figure 4)
   fingerprint  capture an active snapshot (Figure 5)
   report       run everything and print the full report (-dir writes files)
+  capture      run everything and persist a dataset directory
+               (-out dir, -gzip, -devices id1,id2 for sharded fleets)
+  analyze      render the full report from dataset directories without
+               re-simulating (-in dir[,dir...], -dir writes files)
+  dataset      dataset maintenance:
+                 inspect DIR...            print manifest, shards, and
+                                           integrity (fails on corruption)
+                 merge -out DIR IN1 IN2..  union runs into one dataset
   tables       print the static methodology tables (1-4)
   export       run the passive simulation and export JSONL (-o file)
   audit        grade every device's TLS offer via the audit service (§6)
@@ -207,6 +225,15 @@ func runReport(args []string) error {
 	s := newStudy()
 	rep, err := s.RunAll()
 	if err != nil {
+		return err
+	}
+	// The default report renders through the dataset layer — snapshot
+	// the run, restore it into a fresh scaffold, render from that — so
+	// the in-process path and the capture/analyze split share one code
+	// path and cannot drift.
+	ds := dataset.FromStudy(s, rep)
+	s = newStudy()
+	if rep, err = dataset.Restore(s, ds); err != nil {
 		return err
 	}
 	fmt.Println(rep.Render(s))

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -315,21 +317,7 @@ func (c *Collector) takeWeight(src, host string, port int) int {
 }
 
 func weightKey(src, host string, port int) string {
-	return src + "->" + host + ":" + itoa(port)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [12]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return src + "->" + host + ":" + strconv.Itoa(port)
 }
 
 // Mirror implements netem.MirrorFactory. Port-443 connections get a TLS
@@ -451,9 +439,9 @@ func (p *plainSniffer) ClientBytes(b []byte) {
 	head := string(p.head)
 	var kind RevocationKind
 	switch {
-	case hasPrefix(head, "OCSP-CHECK"):
+	case strings.HasPrefix(head, "OCSP-CHECK"):
 		kind = RevocationOCSP
-	case hasPrefix(head, "CRL-FETCH"):
+	case strings.HasPrefix(head, "CRL-FETCH"):
 		kind = RevocationCRL
 	default:
 		return
@@ -472,7 +460,3 @@ func (p *plainSniffer) ServerBytes([]byte) {}
 
 // CloseMirror implements netem.Mirror.
 func (p *plainSniffer) CloseMirror() {}
-
-func hasPrefix(s, prefix string) bool {
-	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
-}

@@ -74,6 +74,18 @@ func (s *Study) SetFaultPlan(p *fault.Plan) {
 	s.Network.SetFaultPlan(p)
 }
 
+// Window returns the resolved passive-collection bounds of this study
+// (the dataset subsystem records them as run provenance).
+func (s *Study) Window() (from, to clock.Month) { return s.passiveWindow() }
+
+// RestrictDevices narrows the testbed to the named devices before any
+// phase runs — the sharded-fleet capture mode, where several processes
+// each capture a disjoint device subset and the datasets are merged
+// offline. Unknown IDs are an error.
+func (s *Study) RestrictDevices(ids []string) error {
+	return s.Registry.Subset(ids)
+}
+
 // passiveWindow resolves the RunAll passive bounds.
 func (s *Study) passiveWindow() (from, to clock.Month) {
 	from, to = s.PassiveFrom, s.PassiveTo
@@ -286,6 +298,14 @@ type Report struct {
 	Dataset     *analysis.DatasetSummary
 	Diversity   *analysis.VersionDiversity
 
+	// ActiveStore holds the 2021 active-snapshot captures behind
+	// Figure 5; Passthroughs holds the raw per-device passthrough
+	// reports behind the §4.2 statistic. Both are retained so the
+	// dataset subsystem can persist the full evidence, not just the
+	// rendered artifacts.
+	ActiveStore  *capture.Store
+	Passthroughs []*mitm.PassthroughReport
+
 	// Degradations lists every contained incident of the run, in
 	// deterministic order; empty on a clean study.
 	Degradations []Degradation
@@ -324,6 +344,7 @@ func (s *Study) RunAll() (*Report, error) {
 	s.phase("active_capture", func() error {
 		activeStore, err := s.CaptureActiveSnapshot()
 		if activeStore != nil {
+			rep.ActiveStore = activeStore
 			rep.Figure5 = analysis.BuildFigure5(activeStore, device.ReferenceDB(), nameOf)
 		}
 		return err
@@ -343,6 +364,7 @@ func (s *Study) RunAll() (*Report, error) {
 
 	s.phase("passthrough", func() error {
 		passthrough := s.RunPassthroughSuite()
+		rep.Passthroughs = passthrough
 		rep.Passthrough = analysis.BuildPassthroughStat(passthrough)
 		rep.Passthrough.NoNewValidationFailures = s.verifyNoNewFailures(passthrough, rep.Interceptions)
 		return nil

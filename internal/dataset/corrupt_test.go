@@ -1,0 +1,207 @@
+package dataset_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// writeSample persists the sample dataset and returns its directory
+// and the shard file names.
+func writeSample(t *testing.T, gz bool) (string, []string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := dataset.Write(dir, sampleDataset(), dataset.Options{Gzip: gz}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []string
+	for _, e := range entries {
+		if e.Name() != dataset.ManifestName {
+			shards = append(shards, e.Name())
+		}
+	}
+	if len(shards) < 4 {
+		t.Fatalf("sample dataset has %d shards, want at least 4", len(shards))
+	}
+	return dir, shards
+}
+
+// expectCorrupt asserts both read paths surface the damage as a
+// wrapped ErrCorrupt (never a panic) and that Inspect flags it.
+func expectCorrupt(t *testing.T, dir, what string) {
+	t.Helper()
+	if _, err := dataset.Read(dir, nil); err == nil {
+		t.Errorf("%s: Read succeeded on corrupt dataset", what)
+	} else if !errors.Is(err, dataset.ErrCorrupt) {
+		t.Errorf("%s: Read error %v does not wrap ErrCorrupt", what, err)
+	}
+	if rep := dataset.Inspect(dir, nil); rep.OK() {
+		t.Errorf("%s: Inspect reports OK on corrupt dataset", what)
+	}
+}
+
+// TestCorruptTruncatedShards pins that truncating any shard at any
+// point is detected.
+func TestCorruptTruncatedShards(t *testing.T) {
+	t.Parallel()
+	_, shards := writeSample(t, false)
+	for _, name := range shards {
+		raw := readShard(t, name)
+		for _, frac := range []int{1, 2, 3} {
+			dir, _ := writeSample(t, false)
+			cut := len(raw) * frac / 4
+			if err := os.WriteFile(filepath.Join(dir, name), raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			expectCorrupt(t, dir, name+" truncated")
+		}
+	}
+}
+
+// readShard loads one shard's pristine bytes from a fresh sample write.
+func readShard(t *testing.T, name string) []byte {
+	t.Helper()
+	dir, _ := writeSample(t, false)
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestCorruptBitFlips flips every byte of every shard, one at a time:
+// the CRC (or frame validation) must catch each flip, and no flip may
+// panic the reader. This is the format's fuzz-like hardening gate.
+func TestCorruptBitFlips(t *testing.T) {
+	t.Parallel()
+	dir, shards := writeSample(t, false)
+	for _, name := range shards {
+		path := filepath.Join(dir, name)
+		pristine, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pristine {
+			mut := append([]byte(nil), pristine...)
+			mut[i] ^= 0xff
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dataset.Read(dir, nil); err == nil {
+				t.Errorf("%s: flipping byte %d went undetected", name, i)
+			} else if !errors.Is(err, dataset.ErrCorrupt) {
+				t.Errorf("%s byte %d: error %v does not wrap ErrCorrupt", name, i, err)
+			}
+		}
+		if err := os.WriteFile(path, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dataset.Read(dir, nil); err != nil {
+		t.Fatalf("restored pristine dataset fails to read: %v", err)
+	}
+}
+
+// TestCorruptGzipShard pins that damage under gzip is also surfaced as
+// corruption (whether the gzip layer or the CRC notices first).
+func TestCorruptGzipShard(t *testing.T) {
+	t.Parallel()
+	dir, shards := writeSample(t, true)
+	name := shards[0]
+	path := filepath.Join(dir, name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectCorrupt(t, dir, name+" gzip flip")
+}
+
+// TestCorruptManifest pins manifest-level damage: unparsable JSON,
+// lying record counts, lying CRCs, bad shard names, and references to
+// missing files.
+func TestCorruptManifest(t *testing.T) {
+	t.Parallel()
+	mangle := func(name string, f func(string) string) string {
+		t.Helper()
+		dir, _ := writeSample(t, false)
+		path := filepath.Join(dir, dataset.ManifestName)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := f(string(raw))
+		if out == string(raw) {
+			t.Fatalf("%s: mangle had no effect", name)
+		}
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	dir := mangle("truncated JSON", func(s string) string { return s[:len(s)/2] })
+	expectCorrupt(t, dir, "truncated manifest")
+
+	dir = mangle("wrong records", func(s string) string {
+		return strings.Replace(s, `"records": 3`, `"records": 4`, 1)
+	})
+	expectCorrupt(t, dir, "manifest with lying record count")
+
+	dir = mangle("wrong crc", func(s string) string {
+		i := strings.Index(s, `"crc32": `)
+		return s[:i+len(`"crc32": `)] + "1" + s[i+len(`"crc32": `):]
+	})
+	expectCorrupt(t, dir, "manifest with lying CRC")
+
+	dir = mangle("path escape", func(s string) string {
+		return strings.Replace(s, `"file": "aux.bin"`, `"file": "../aux.bin"`, 1)
+	})
+	expectCorrupt(t, dir, "manifest with path-escaping shard name")
+
+	// A manifest referencing a missing shard is an I/O failure, not
+	// necessarily ErrCorrupt — but it must error, not panic.
+	dir, shards := writeSample(t, false)
+	if err := os.Remove(filepath.Join(dir, shards[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataset.Read(dir, nil); err == nil {
+		t.Error("Read succeeded with a missing shard file")
+	}
+	if rep := dataset.Inspect(dir, nil); rep.OK() {
+		t.Error("Inspect reports OK with a missing shard file")
+	}
+
+	// And a directory with no manifest at all is a plain error.
+	if _, err := dataset.Read(t.TempDir(), nil); err == nil {
+		t.Error("Read succeeded on an empty directory")
+	}
+}
+
+// TestCorruptTrailingGarbage pins that extra bytes after the last
+// record are rejected even when they keep the record count intact.
+func TestCorruptTrailingGarbage(t *testing.T) {
+	t.Parallel()
+	dir, shards := writeSample(t, false)
+	path := filepath.Join(dir, shards[0])
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x05, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	expectCorrupt(t, dir, "trailing garbage")
+}

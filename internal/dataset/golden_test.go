@@ -1,0 +1,206 @@
+package dataset_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fingerprint"
+	"repro/internal/mitm"
+	"repro/internal/probe"
+	"repro/internal/traffic"
+	"repro/internal/wire"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_v1 from the sample dataset")
+
+// sampleDataset builds a small fixed dataset that exercises every
+// record kind and optional field: the golden fixture is generated from
+// it, and the corruption tests mutate its on-disk form.
+func sampleDataset() *dataset.Dataset {
+	at := func(month clock.Month, day int) time.Time {
+		return month.Start().Add(time.Duration(day) * 24 * time.Hour)
+	}
+	jan := clock.Month{Year: 2018, Mon: time.January}
+	feb := clock.Month{Year: 2018, Mon: time.February}
+	obs := func(m clock.Month, day int, dev, host string, established bool) *capture.Observation {
+		o := &capture.Observation{
+			Device: dev, Host: host, Port: 443,
+			Time: at(m, day), Month: m, Weight: 120,
+			SawClientHello: true, SawServerHello: established, Established: established,
+			SNI:                host,
+			AdvertisedMax:      ciphers.TLS12,
+			AdvertisedVersions: []ciphers.Version{ciphers.TLS10, ciphers.TLS11, ciphers.TLS12},
+			AdvertisedSuites:   []ciphers.Suite{0x002f, 0x0035, 0xc02f},
+			Fingerprint: fingerprint.Fingerprint{
+				Version: ciphers.TLS12, MaxVersion: ciphers.TLS12,
+				Suites:       []ciphers.Suite{0x002f, 0x0035, 0xc02f},
+				Extensions:   []wire.ExtensionType{0, 10, 11, wire.ExtSupportedVersions},
+				Groups:       []uint16{23, 24},
+				PointFormats: []uint8{0},
+			},
+		}
+		if established {
+			o.NegotiatedVersion = ciphers.TLS12
+			o.NegotiatedSuite = 0xc02f
+			o.RequestedOCSPStaple = true
+			o.AppDataRecords = 4
+		} else {
+			o.ServerAlert = &wire.Alert{Level: wire.LevelFatal, Description: wire.AlertHandshakeFailure}
+		}
+		return o
+	}
+	active := obs(clock.Month{Year: 2021, Mon: time.April}, 2, "sample-bulb", "cloud.example", true)
+	return &dataset.Dataset{
+		Runs: []dataset.Run{{
+			FaultSeed: 7, FaultProfile: "mild",
+			WindowFrom: "2018-01", WindowTo: "2018-02",
+			Devices:                 []string{"sample-bulb", "sample-cam"},
+			Stats:                   traffic.Stats{Months: 2, Handshakes: 4, WeightedConns: 480, FailedConnects: 1},
+			NoNewValidationFailures: true,
+		}},
+		HasActive: true,
+		Observations: []*capture.Observation{
+			obs(jan, 3, "sample-bulb", "cloud.example", true),
+			obs(jan, 9, "sample-cam", "cdn.example", false),
+			obs(feb, 5, "sample-bulb", "cloud.example", true),
+		},
+		Revocations: []capture.RevocationEvent{
+			{Device: "sample-cam", Host: "ocsp.example", Kind: capture.RevocationOCSP, Time: at(jan, 9)},
+			{Device: "sample-cam", Host: "crl.example", Kind: capture.RevocationCRL, Time: at(feb, 1)},
+		},
+		ActiveObservations: []*capture.Observation{active},
+		ProbeReports: []*dataset.ProbeRecord{{
+			Device: "sample-bulb", Amenable: true,
+			BadSignatureAlert: wire.AlertHandshakeFailure,
+			UnknownCAAlert:    wire.AlertUnknownCA,
+			Common: []dataset.TrialRecord{
+				{CA: "Sample Root CA 1", Verdict: probe.VerdictIncluded},
+				{CA: "Sample Root CA 2", Verdict: probe.VerdictExcluded,
+					Alert: &wire.Alert{Level: wire.LevelFatal, Description: wire.AlertUnknownCA}},
+			},
+			Deprecated: []dataset.TrialRecord{
+				{CA: "Sample Legacy CA", Verdict: probe.VerdictInconclusive},
+			},
+		}},
+		Downgrades: []*mitm.DowngradeReport{{
+			Device: "sample-bulb", OnFailed: true, DowngradedHosts: 1, TotalHosts: 2,
+			Description: "downgraded after failure",
+		}},
+		OldVersions: []*mitm.OldVersionReport{{Device: "sample-cam", TLS10OK: true}},
+		Interceptions: []*mitm.InterceptionReport{{
+			Device: "sample-bulb", TotalHosts: 2,
+			PerAttack: map[mitm.Attack][]mitm.HostResult{
+				mitm.AttackNoValidation: {
+					{Host: "cloud.example", Vulnerable: true, Payload: "GET /v1/state", Sensitive: true},
+					{Host: "cdn.example", ClientAlert: &wire.Alert{Level: wire.LevelFatal, Description: wire.AlertUnknownCA}},
+				},
+				mitm.AttackWrongHostname: {
+					{Host: "cloud.example"},
+				},
+			},
+		}},
+		Passthroughs: []*mitm.PassthroughReport{{
+			Device: "sample-bulb", AttackHosts: []string{"cloud.example"},
+			PassthroughHosts: []string{"cloud.example", "cdn.example"},
+		}},
+		Degradations: []core.Degradation{{Phase: "probe", Reason: "sample contained incident"}},
+	}
+}
+
+// TestGoldenFixture guards the v1 schema against drift in both
+// directions: encoding the sample dataset must reproduce the
+// checked-in fixture byte for byte, and decoding the fixture must
+// yield the sample dataset exactly. Any change to the wire format
+// breaks this test until the schema version is bumped and the fixture
+// regenerated with -update-golden.
+func TestGoldenFixture(t *testing.T) {
+	t.Parallel()
+	golden := filepath.Join("testdata", "golden_v1")
+	if *updateGolden {
+		if err := os.RemoveAll(golden); err != nil {
+			t.Fatal(err)
+		}
+		if err := dataset.Write(golden, sampleDataset(), dataset.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", golden)
+	}
+
+	// Encode direction: fresh write == checked-in bytes.
+	fresh := filepath.Join(t.TempDir(), "ds")
+	if err := dataset.Write(fresh, sampleDataset(), dataset.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadDir(golden)
+	if err != nil {
+		t.Fatalf("golden fixture missing (regenerate with -update-golden): %v", err)
+	}
+	got, err := os.ReadDir(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("fresh write has %d files, fixture has %d", len(got), len(want))
+	}
+	for _, e := range want {
+		wantRaw, err := os.ReadFile(filepath.Join(golden, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRaw, err := os.ReadFile(filepath.Join(fresh, e.Name()))
+		if err != nil {
+			t.Fatalf("fresh write is missing %s: %v", e.Name(), err)
+		}
+		if string(wantRaw) != string(gotRaw) {
+			t.Errorf("%s: encoder output drifted from the v1 fixture", e.Name())
+		}
+	}
+
+	// Decode direction: reading the fixture and re-encoding it must
+	// reproduce the fixture exactly (decode∘encode is the identity), and
+	// the decoded values must match the sample.
+	ds, err := dataset.Read(golden, nil)
+	if err != nil {
+		t.Fatalf("Read fixture: %v", err)
+	}
+	reenc := filepath.Join(t.TempDir(), "reenc")
+	if err := dataset.Write(reenc, ds, dataset.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range want {
+		wantRaw, err := os.ReadFile(filepath.Join(golden, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRaw, err := os.ReadFile(filepath.Join(reenc, e.Name()))
+		if err != nil {
+			t.Fatalf("re-encode is missing %s: %v", e.Name(), err)
+		}
+		if string(wantRaw) != string(gotRaw) {
+			t.Errorf("%s: decode∘encode is not the identity on the v1 fixture", e.Name())
+		}
+	}
+	want2 := sampleDataset()
+	if len(ds.Observations) != len(want2.Observations) || len(ds.Revocations) != len(want2.Revocations) ||
+		len(ds.ActiveObservations) != len(want2.ActiveObservations) || len(ds.ProbeReports) != len(want2.ProbeReports) {
+		t.Fatalf("decoded fixture has wrong shape: %+v", ds)
+	}
+	o, wantO := ds.Observations[0], want2.Observations[0]
+	if o.Device != wantO.Device || !o.Time.Equal(wantO.Time) || o.Month != wantO.Month ||
+		o.Weight != wantO.Weight || o.NegotiatedSuite != wantO.NegotiatedSuite ||
+		!reflect.DeepEqual(o.Fingerprint, wantO.Fingerprint) {
+		t.Errorf("decoded observation differs:\n got: %+v\nwant: %+v", o, wantO)
+	}
+	if ds.Runs[0].Fingerprint() != want2.Runs[0].Fingerprint() {
+		t.Errorf("decoded run provenance differs: %+v", ds.Runs[0])
+	}
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+)
+
+// runsCollide reports whether two provenance entries describe the same
+// simulated reality: identical fault configuration and passive window
+// with overlapping device sets. Merging such runs would double-count
+// observations, so Merge rejects them. Distinct seeds (or disjoint
+// device subsets of one configuration, as produced by sharded fleet
+// captures) are legitimate merge inputs.
+func runsCollide(a, b Run) bool {
+	if a.FaultSeed != b.FaultSeed || a.FaultProfile != b.FaultProfile ||
+		a.WindowFrom != b.WindowFrom || a.WindowTo != b.WindowTo {
+		return false
+	}
+	set := make(map[string]bool, len(a.Devices))
+	for _, d := range a.Devices {
+		set[d] = true
+	}
+	for _, d := range b.Devices {
+		if set[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Union concatenates already-loaded datasets in memory, applying the
+// same provenance collision rules as Merge. Restore re-canonicalises
+// every section (the store sorts observations, suite reports sort by
+// registry device order), so analysing a union is input-order
+// independent for disjoint-device inputs.
+func Union(sets ...*Dataset) (*Dataset, error) {
+	out := &Dataset{}
+	for _, ds := range sets {
+		for _, r := range ds.Runs {
+			for _, prev := range out.Runs {
+				if runsCollide(prev, r) {
+					return nil, fmt.Errorf("dataset: provenance collision: runs %s and %s capture the same configuration (seed=%d profile=%q window=%s..%s) with overlapping devices",
+						prev.Fingerprint(), r.Fingerprint(), r.FaultSeed, r.FaultProfile, r.WindowFrom, r.WindowTo)
+				}
+			}
+			out.Runs = append(out.Runs, r)
+		}
+		if ds.HasActive {
+			out.HasActive = true
+		}
+		out.Observations = append(out.Observations, ds.Observations...)
+		out.Revocations = append(out.Revocations, ds.Revocations...)
+		out.ActiveObservations = append(out.ActiveObservations, ds.ActiveObservations...)
+		out.ProbeReports = append(out.ProbeReports, ds.ProbeReports...)
+		out.Downgrades = append(out.Downgrades, ds.Downgrades...)
+		out.OldVersions = append(out.OldVersions, ds.OldVersions...)
+		out.Interceptions = append(out.Interceptions, ds.Interceptions...)
+		out.Passthroughs = append(out.Passthroughs, ds.Passthroughs...)
+		out.Degradations = append(out.Degradations, ds.Degradations...)
+	}
+	return out, nil
+}
+
+// bucket identifies one merged output shard.
+type bucket struct {
+	kind  string
+	month string
+	// sources lists the input shards feeding this bucket.
+	sources []bucketSource
+}
+
+type bucketSource struct {
+	dir  string
+	gzip bool
+	info ShardInfo
+}
+
+// Merge unions the datasets in inDirs into a new dataset at outDir.
+// The merge is deterministic and order-independent: records within
+// each output shard are sorted by their encoded bytes, so merging
+// (A, B) and (B, A) produce byte-identical directories. Inputs must
+// share the schema version, and provenance collisions (the same seed,
+// fault profile, and window with overlapping devices) are rejected.
+func Merge(outDir string, inDirs []string, opts Options) (err error) {
+	span := opts.Telemetry.StartSpan("dataset.merge")
+	defer func() { span.EndErr(err) }()
+	if len(inDirs) == 0 {
+		return fmt.Errorf("dataset: merge needs at least one input")
+	}
+
+	var runs []Run
+	var runDirs []string
+	hasActive := false
+	buckets := make(map[string]*bucket)
+	var order []string
+	for _, dir := range inDirs {
+		m, err := readManifest(dir)
+		if err != nil {
+			return err
+		}
+		for _, r := range m.Runs {
+			for i, prev := range runs {
+				if runsCollide(prev, r) {
+					return fmt.Errorf("dataset: provenance collision: run %s from %s and run %s from %s capture the same configuration (seed=%d profile=%q window=%s..%s) with overlapping devices",
+						prev.Fingerprint(), runDirs[i], r.Fingerprint(), dir, r.FaultSeed, r.FaultProfile, r.WindowFrom, r.WindowTo)
+				}
+			}
+			runs = append(runs, r)
+			runDirs = append(runDirs, dir)
+		}
+		if m.HasActive {
+			hasActive = true
+		}
+		for _, sh := range m.Shards {
+			key := sh.Kind + "\x00" + sh.Month
+			b, ok := buckets[key]
+			if !ok {
+				b = &bucket{kind: sh.Kind, month: sh.Month}
+				buckets[key] = b
+				order = append(order, key)
+			}
+			b.sources = append(b.sources, bucketSource{dir: dir, gzip: m.Gzip, info: sh})
+		}
+	}
+	sort.Strings(order)
+
+	w, err := NewWriter(outDir, opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		w.AddRun(r)
+	}
+	if hasActive {
+		w.SetHasActive()
+	}
+	// One bucket (≈ one study month) is in memory at a time; records
+	// are unioned and sorted by encoded bytes for order independence.
+	for _, key := range order {
+		b := buckets[key]
+		var month clock.Month
+		if b.kind == KindPassive {
+			if month, err = parseMonth(b.month); err != nil {
+				return corruptf("merge: %v", err)
+			}
+		}
+		var payloads [][]byte
+		for _, src := range b.sources {
+			err := scanShard(src.dir, src.gzip, src.info, func(p []byte) error {
+				payloads = append(payloads, append([]byte(nil), p...))
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		sort.Slice(payloads, func(i, j int) bool {
+			return bytes.Compare(payloads[i], payloads[j]) < 0
+		})
+		for _, p := range payloads {
+			if err := w.write(b.kind, month, p); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,433 @@
+package dataset
+
+import (
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/ciphers"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/mitm"
+	"repro/internal/probe"
+	"repro/internal/wire"
+)
+
+// Record kinds. The kind is the first byte of every record payload;
+// kinds are append-only across schema revisions of the same version.
+const (
+	recObservation       byte = 1 // passive shards
+	recRevocation        byte = 2 // passive shards
+	recActiveObservation byte = 3 // active shard
+	recProbeReport       byte = 4 // aux shard
+	recDowngrade         byte = 5 // aux shard
+	recOldVersion        byte = 6 // aux shard
+	recInterception      byte = 7 // aux shard
+	recPassthrough       byte = 8 // aux shard
+	recDegradation       byte = 9 // aux shard
+)
+
+// Observation flag bits.
+const (
+	flagSawClientHello = 1 << iota
+	flagSawServerHello
+	flagEstablished
+	flagRequestedOCSPStaple
+	flagStapledOCSP
+	flagClientAlert
+	flagServerAlert
+)
+
+func putAlert(e *enc, a *wire.Alert) {
+	if a == nil {
+		return
+	}
+	e.u8(uint8(a.Level))
+	e.u8(uint8(a.Description))
+}
+
+func getAlert(d *dec, present bool) *wire.Alert {
+	if !present {
+		return nil
+	}
+	level := d.u8()
+	desc := d.u8()
+	if d.err != nil {
+		return nil
+	}
+	return &wire.Alert{Level: wire.AlertLevel(level), Description: wire.AlertDescription(desc)}
+}
+
+func suitesToU16(vs []ciphers.Suite) []uint16 {
+	out := make([]uint16, len(vs))
+	for i, v := range vs {
+		out[i] = uint16(v)
+	}
+	return out
+}
+
+func u16ToSuites(vs []uint16) []ciphers.Suite {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]ciphers.Suite, len(vs))
+	for i, v := range vs {
+		out[i] = ciphers.Suite(v)
+	}
+	return out
+}
+
+func versionsToU16(vs []ciphers.Version) []uint16 {
+	out := make([]uint16, len(vs))
+	for i, v := range vs {
+		out[i] = uint16(v)
+	}
+	return out
+}
+
+func u16ToVersions(vs []uint16) []ciphers.Version {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]ciphers.Version, len(vs))
+	for i, v := range vs {
+		out[i] = ciphers.Version(v)
+	}
+	return out
+}
+
+func extsToU16(vs []wire.ExtensionType) []uint16 {
+	out := make([]uint16, len(vs))
+	for i, v := range vs {
+		out[i] = uint16(v)
+	}
+	return out
+}
+
+func u16ToExts(vs []uint16) []wire.ExtensionType {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]wire.ExtensionType, len(vs))
+	for i, v := range vs {
+		out[i] = wire.ExtensionType(v)
+	}
+	return out
+}
+
+// encodeObservation serialises one observation (kind decides whether it
+// belongs to the passive months or the active snapshot).
+func encodeObservation(kind byte, o *capture.Observation) []byte {
+	e := &enc{b: make([]byte, 0, 128)}
+	e.u8(kind)
+	e.str(o.Device)
+	e.str(o.Host)
+	e.i64(int64(o.Port))
+	e.i64(o.Time.UnixNano())
+	e.i64(int64(o.Weight))
+	var flags uint8
+	if o.SawClientHello {
+		flags |= flagSawClientHello
+	}
+	if o.SawServerHello {
+		flags |= flagSawServerHello
+	}
+	if o.Established {
+		flags |= flagEstablished
+	}
+	if o.RequestedOCSPStaple {
+		flags |= flagRequestedOCSPStaple
+	}
+	if o.StapledOCSP {
+		flags |= flagStapledOCSP
+	}
+	if o.ClientAlert != nil {
+		flags |= flagClientAlert
+	}
+	if o.ServerAlert != nil {
+		flags |= flagServerAlert
+	}
+	e.u8(flags)
+	e.str(o.SNI)
+	e.u16(uint16(o.AdvertisedMax))
+	e.u16s(versionsToU16(o.AdvertisedVersions))
+	e.u16s(suitesToU16(o.AdvertisedSuites))
+	e.u16(uint16(o.Fingerprint.Version))
+	e.u16(uint16(o.Fingerprint.MaxVersion))
+	e.u16s(suitesToU16(o.Fingerprint.Suites))
+	e.u16s(extsToU16(o.Fingerprint.Extensions))
+	e.u16s(o.Fingerprint.Groups)
+	e.u8s(o.Fingerprint.PointFormats)
+	e.u16(uint16(o.NegotiatedVersion))
+	e.u16(uint16(o.NegotiatedSuite))
+	putAlert(e, o.ClientAlert)
+	putAlert(e, o.ServerAlert)
+	e.i64(int64(o.AppDataRecords))
+	return e.b
+}
+
+// decodeObservation is the inverse of encodeObservation; the caller has
+// already consumed the kind byte.
+func decodeObservation(d *dec) (*capture.Observation, error) {
+	o := &capture.Observation{}
+	o.Device = d.str()
+	o.Host = d.str()
+	o.Port = int(d.i64())
+	o.Time = time.Unix(0, d.i64()).UTC()
+	o.Weight = int(d.i64())
+	flags := d.u8()
+	o.SawClientHello = flags&flagSawClientHello != 0
+	o.SawServerHello = flags&flagSawServerHello != 0
+	o.Established = flags&flagEstablished != 0
+	o.RequestedOCSPStaple = flags&flagRequestedOCSPStaple != 0
+	o.StapledOCSP = flags&flagStapledOCSP != 0
+	o.SNI = d.str()
+	o.AdvertisedMax = ciphers.Version(d.u16())
+	o.AdvertisedVersions = u16ToVersions(d.u16s())
+	o.AdvertisedSuites = u16ToSuites(d.u16s())
+	o.Fingerprint = fingerprint.Fingerprint{
+		Version:      ciphers.Version(d.u16()),
+		MaxVersion:   ciphers.Version(d.u16()),
+		Suites:       u16ToSuites(d.u16s()),
+		Extensions:   u16ToExts(d.u16s()),
+		Groups:       d.u16s(),
+		PointFormats: d.u8s(),
+	}
+	o.NegotiatedVersion = ciphers.Version(d.u16())
+	o.NegotiatedSuite = ciphers.Suite(d.u16())
+	o.ClientAlert = getAlert(d, flags&flagClientAlert != 0)
+	o.ServerAlert = getAlert(d, flags&flagServerAlert != 0)
+	o.AppDataRecords = int(d.i64())
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	o.Month = clock.MonthOf(o.Time)
+	return o, nil
+}
+
+func encodeRevocation(ev capture.RevocationEvent) []byte {
+	e := &enc{}
+	e.u8(recRevocation)
+	e.str(ev.Device)
+	e.str(ev.Host)
+	e.u8(uint8(ev.Kind))
+	e.i64(ev.Time.UnixNano())
+	return e.b
+}
+
+func decodeRevocation(d *dec) (capture.RevocationEvent, error) {
+	ev := capture.RevocationEvent{}
+	ev.Device = d.str()
+	ev.Host = d.str()
+	ev.Kind = capture.RevocationKind(d.u8())
+	ev.Time = time.Unix(0, d.i64()).UTC()
+	return ev, d.finish()
+}
+
+// TrialRecord is the persisted form of one CA probe trial. The CA is
+// referenced by Common Name and resolved against the study's CA
+// universe at restore time (the universe is deterministic testbed
+// state, not captured data).
+type TrialRecord struct {
+	CA      string
+	Verdict probe.Verdict
+	Alert   *wire.Alert
+}
+
+// ProbeRecord is the persisted form of one device's root-store
+// exploration (a probe.Report with CAs by name).
+type ProbeRecord struct {
+	Device            string
+	Amenable          bool
+	BadSignatureAlert wire.AlertDescription
+	UnknownCAAlert    wire.AlertDescription
+	Common            []TrialRecord
+	Deprecated        []TrialRecord
+}
+
+func putTrials(e *enc, ts []TrialRecord) {
+	e.u64(uint64(len(ts)))
+	for _, t := range ts {
+		e.str(t.CA)
+		e.u8(uint8(t.Verdict))
+		e.boolean(t.Alert != nil)
+		putAlert(e, t.Alert)
+	}
+}
+
+func getTrials(d *dec) []TrialRecord {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]TrialRecord, 0, n)
+	for i := 0; i < n; i++ {
+		t := TrialRecord{}
+		t.CA = d.str()
+		t.Verdict = probe.Verdict(d.u8())
+		t.Alert = getAlert(d, d.boolean())
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func encodeProbeReport(r *ProbeRecord) []byte {
+	e := &enc{}
+	e.u8(recProbeReport)
+	e.str(r.Device)
+	e.boolean(r.Amenable)
+	e.u8(uint8(r.BadSignatureAlert))
+	e.u8(uint8(r.UnknownCAAlert))
+	putTrials(e, r.Common)
+	putTrials(e, r.Deprecated)
+	return e.b
+}
+
+func decodeProbeReport(d *dec) (*ProbeRecord, error) {
+	r := &ProbeRecord{}
+	r.Device = d.str()
+	r.Amenable = d.boolean()
+	r.BadSignatureAlert = wire.AlertDescription(d.u8())
+	r.UnknownCAAlert = wire.AlertDescription(d.u8())
+	r.Common = getTrials(d)
+	r.Deprecated = getTrials(d)
+	return r, d.finish()
+}
+
+func encodeDowngrade(r *mitm.DowngradeReport) []byte {
+	e := &enc{}
+	e.u8(recDowngrade)
+	e.str(r.Device)
+	e.boolean(r.OnFailed)
+	e.boolean(r.OnIncomplete)
+	e.i64(int64(r.DowngradedHosts))
+	e.i64(int64(r.TotalHosts))
+	e.str(r.Description)
+	return e.b
+}
+
+func decodeDowngrade(d *dec) (*mitm.DowngradeReport, error) {
+	r := &mitm.DowngradeReport{}
+	r.Device = d.str()
+	r.OnFailed = d.boolean()
+	r.OnIncomplete = d.boolean()
+	r.DowngradedHosts = int(d.i64())
+	r.TotalHosts = int(d.i64())
+	r.Description = d.str()
+	return r, d.finish()
+}
+
+func encodeOldVersion(r *mitm.OldVersionReport) []byte {
+	e := &enc{}
+	e.u8(recOldVersion)
+	e.str(r.Device)
+	e.boolean(r.TLS10OK)
+	e.boolean(r.TLS11OK)
+	return e.b
+}
+
+func decodeOldVersion(d *dec) (*mitm.OldVersionReport, error) {
+	r := &mitm.OldVersionReport{}
+	r.Device = d.str()
+	r.TLS10OK = d.boolean()
+	r.TLS11OK = d.boolean()
+	return r, d.finish()
+}
+
+func encodeInterception(r *mitm.InterceptionReport) []byte {
+	e := &enc{}
+	e.u8(recInterception)
+	e.str(r.Device)
+	e.i64(int64(r.TotalHosts))
+	attacks := make([]int, 0, len(r.PerAttack))
+	for a := range r.PerAttack {
+		attacks = append(attacks, int(a))
+	}
+	// Map iteration order is random; persist attacks sorted by value so
+	// the encoding of a report is canonical.
+	for i := 1; i < len(attacks); i++ {
+		for j := i; j > 0 && attacks[j] < attacks[j-1]; j-- {
+			attacks[j], attacks[j-1] = attacks[j-1], attacks[j]
+		}
+	}
+	e.u64(uint64(len(attacks)))
+	for _, a := range attacks {
+		e.u8(uint8(a))
+		hosts := r.PerAttack[mitm.Attack(a)]
+		e.u64(uint64(len(hosts)))
+		for _, h := range hosts {
+			e.str(h.Host)
+			e.boolean(h.Vulnerable)
+			e.str(h.Payload)
+			e.boolean(h.Sensitive)
+			e.boolean(h.ClientAlert != nil)
+			putAlert(e, h.ClientAlert)
+		}
+	}
+	return e.b
+}
+
+func decodeInterception(d *dec) (*mitm.InterceptionReport, error) {
+	r := &mitm.InterceptionReport{PerAttack: make(map[mitm.Attack][]mitm.HostResult)}
+	r.Device = d.str()
+	r.TotalHosts = int(d.i64())
+	attacks := d.length()
+	for i := 0; i < attacks && d.err == nil; i++ {
+		a := mitm.Attack(d.u8())
+		hosts := d.length()
+		var hs []mitm.HostResult
+		for j := 0; j < hosts && d.err == nil; j++ {
+			h := mitm.HostResult{}
+			h.Host = d.str()
+			h.Vulnerable = d.boolean()
+			h.Payload = d.str()
+			h.Sensitive = d.boolean()
+			h.ClientAlert = getAlert(d, d.boolean())
+			hs = append(hs, h)
+		}
+		if d.err == nil {
+			if _, dup := r.PerAttack[a]; dup {
+				return nil, corruptf("duplicate attack %d in interception record", a)
+			}
+			r.PerAttack[a] = hs
+		}
+	}
+	return r, d.finish()
+}
+
+func encodePassthrough(r *mitm.PassthroughReport) []byte {
+	e := &enc{}
+	e.u8(recPassthrough)
+	e.str(r.Device)
+	e.strs(r.AttackHosts)
+	e.strs(r.PassthroughHosts)
+	e.strs(r.NewHosts)
+	return e.b
+}
+
+func decodePassthrough(d *dec) (*mitm.PassthroughReport, error) {
+	r := &mitm.PassthroughReport{}
+	r.Device = d.str()
+	r.AttackHosts = d.strs()
+	r.PassthroughHosts = d.strs()
+	r.NewHosts = d.strs()
+	return r, d.finish()
+}
+
+func encodeDegradation(g core.Degradation) []byte {
+	e := &enc{}
+	e.u8(recDegradation)
+	e.str(g.Phase)
+	e.str(g.Reason)
+	return e.b
+}
+
+func decodeDegradation(d *dec) (core.Degradation, error) {
+	g := core.Degradation{}
+	g.Phase = d.str()
+	g.Reason = d.str()
+	return g, d.finish()
+}

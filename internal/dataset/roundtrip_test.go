@@ -1,0 +1,136 @@
+package dataset_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/report"
+)
+
+// runFull drives the complete study at the given parallelism,
+// optionally with a fault plan armed.
+func runFull(t *testing.T, parallelism int, plan *fault.Plan) (*core.Study, *core.Report) {
+	t.Helper()
+	s := core.NewStudy()
+	s.Parallelism = parallelism
+	if plan != nil {
+		s.SetFaultPlan(plan)
+	}
+	rep, err := s.RunAll()
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	return s, rep
+}
+
+// roundTrip persists the run, reads it back, and restores it into a
+// fresh study scaffold.
+func roundTrip(t *testing.T, s *core.Study, rep *core.Report, gz bool) (*core.Study, *core.Report) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	ds := dataset.FromStudy(s, rep)
+	if err := dataset.Write(dir, ds, dataset.Options{Gzip: gz}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := dataset.Read(dir, nil)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	s2 := core.NewStudy()
+	rep2, err := dataset.Restore(s2, got)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	return s2, rep2
+}
+
+// artifactFiles renders the per-artifact report files and returns
+// their contents keyed by file name.
+func artifactFiles(t *testing.T, s *core.Study, rep *core.Report) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	files, err := report.Write(dir, s, rep)
+	if err != nil {
+		t.Fatalf("report.Write: %v", err)
+	}
+	out := make(map[string]string, len(files))
+	for _, f := range files {
+		raw, err := os.ReadFile(filepath.Join(dir, filepath.Base(f)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(f)] = string(raw)
+	}
+	return out
+}
+
+// TestRoundTripByteIdentical is the subsystem's core contract: for the
+// same seed, capture → persist → read → restore renders every artifact
+// byte-identical to the in-memory run — at parallelism 1 and 8, with
+// and without gzip, and under an armed fault plan.
+func TestRoundTripByteIdentical(t *testing.T) {
+	cases := []struct {
+		name        string
+		parallelism int
+		gzip        bool
+		plan        func() *fault.Plan
+	}{
+		{name: "sequential", parallelism: 1},
+		{name: "parallel8", parallelism: 8},
+		{name: "parallel8_gzip", parallelism: 8, gzip: true},
+		{name: "faults_aggressive", parallelism: 8, plan: func() *fault.Plan {
+			return fault.NewPlan(7, fault.Profiles["aggressive"])
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var plan *fault.Plan
+			if tc.plan != nil {
+				plan = tc.plan()
+			}
+			s, rep := runFull(t, tc.parallelism, plan)
+			want := rep.Render(s)
+			wantFiles := artifactFiles(t, s, rep)
+
+			s2, rep2 := roundTrip(t, s, rep, tc.gzip)
+			if got := rep2.Render(s2); got != want {
+				t.Errorf("restored render differs from in-memory render (%d vs %d bytes)", len(got), len(want))
+			}
+			gotFiles := artifactFiles(t, s2, rep2)
+			if len(gotFiles) != len(wantFiles) {
+				t.Fatalf("restored run wrote %d artifact files, want %d", len(gotFiles), len(wantFiles))
+			}
+			for name, want := range wantFiles {
+				if gotFiles[name] != want {
+					t.Errorf("artifact %s differs after round trip", name)
+				}
+			}
+			if rep2.Degraded() != rep.Degraded() {
+				t.Errorf("Degraded() = %v after round trip, want %v", rep2.Degraded(), rep.Degraded())
+			}
+		})
+	}
+}
+
+// TestWriterRefusesOverwrite pins that a capture cannot clobber an
+// existing dataset directory.
+func TestWriterRefusesOverwrite(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "ds")
+	w, err := dataset.NewWriter(dir, dataset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataset.NewWriter(dir, dataset.Options{}); err == nil {
+		t.Fatal("NewWriter over an existing dataset succeeded, want refusal")
+	}
+}

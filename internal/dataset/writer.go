@@ -1,0 +1,276 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/capture"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/mitm"
+	"repro/internal/telemetry"
+)
+
+// Options configure dataset I/O.
+type Options struct {
+	// Gzip compresses shard files (shards gain a .gz suffix). The CRC
+	// and byte counts in the manifest always cover the uncompressed
+	// record stream, so integrity checking is compression-independent.
+	Gzip bool
+	// Telemetry receives dataset.* I/O counters and spans; nil is fine.
+	Telemetry *telemetry.Registry
+}
+
+// Writer streams records into a dataset directory, one shard per
+// passive month plus the active and aux shards, without ever holding a
+// whole dataset in memory. Close finalises the shard catalog and
+// writes the manifest; a Writer that is never Closed leaves no
+// manifest, so half-written directories are not readable datasets.
+type Writer struct {
+	dir    string
+	opts   Options
+	shards map[string]*shardWriter
+	runs   []Run
+	active bool
+	closed bool
+}
+
+// shardWriter frames records into one shard file. The CRC and byte
+// count are computed over the uncompressed stream, before gzip.
+type shardWriter struct {
+	info ShardInfo
+	f    *os.File
+	bw   *bufio.Writer
+	gz   *gzip.Writer
+	out  io.Writer
+	crc  hash.Hash32
+}
+
+// NewWriter creates the dataset directory (if needed) and prepares for
+// streaming. It refuses to overwrite an existing dataset.
+func NewWriter(dir string, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: create %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return nil, fmt.Errorf("dataset: %s already holds a dataset (refusing to overwrite)", dir)
+	}
+	return &Writer{dir: dir, opts: opts, shards: make(map[string]*shardWriter)}, nil
+}
+
+// AddRun records one capture run's provenance in the manifest.
+func (w *Writer) AddRun(r Run) { w.runs = append(w.runs, r) }
+
+// SetHasActive marks that an active snapshot was captured (even if it
+// produced zero observations).
+func (w *Writer) SetHasActive() { w.active = true }
+
+func (w *Writer) shard(kind string, month clock.Month) (*shardWriter, error) {
+	var name string
+	switch kind {
+	case KindPassive:
+		name = "passive-" + month.String() + ".bin"
+	case KindActive:
+		name = "active.bin"
+	default:
+		name = "aux.bin"
+	}
+	if w.opts.Gzip {
+		name += ".gz"
+	}
+	if sw, ok := w.shards[name]; ok {
+		return sw, nil
+	}
+	f, err := os.Create(filepath.Join(w.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: create shard: %w", err)
+	}
+	sw := &shardWriter{
+		info: ShardInfo{File: name, Kind: kind},
+		f:    f,
+		bw:   bufio.NewWriter(f),
+		crc:  crc32.NewIEEE(),
+	}
+	if kind == KindPassive {
+		sw.info.Month = month.String()
+	}
+	sw.out = sw.bw
+	if w.opts.Gzip {
+		sw.gz = gzip.NewWriter(sw.bw)
+		sw.out = sw.gz
+	}
+	w.shards[name] = sw
+	w.opts.Telemetry.Counter("dataset.write.shards").Inc()
+	return sw, nil
+}
+
+// write frames one encoded record payload into the given shard.
+func (w *Writer) write(kind string, month clock.Month, payload []byte) error {
+	if w.closed {
+		return fmt.Errorf("dataset: write after Close")
+	}
+	sw, err := w.shard(kind, month)
+	if err != nil {
+		return err
+	}
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = append(frame, payload...)
+	if _, err := sw.out.Write(frame); err != nil {
+		return fmt.Errorf("dataset: write shard %s: %w", sw.info.File, err)
+	}
+	sw.crc.Write(frame)
+	sw.info.Records++
+	sw.info.Bytes += int64(len(frame))
+	w.opts.Telemetry.Counter("dataset.write.records").Inc()
+	w.opts.Telemetry.Counter("dataset.write.bytes").Add(int64(len(frame)))
+	return nil
+}
+
+// Observation streams one passive handshake observation into its
+// month's shard.
+func (w *Writer) Observation(o *capture.Observation) error {
+	return w.write(KindPassive, o.Month, encodeObservation(recObservation, o))
+}
+
+// Revocation streams one revocation event into its month's shard.
+func (w *Writer) Revocation(ev capture.RevocationEvent) error {
+	return w.write(KindPassive, clock.MonthOf(ev.Time), encodeRevocation(ev))
+}
+
+// ActiveObservation streams one active-snapshot observation.
+func (w *Writer) ActiveObservation(o *capture.Observation) error {
+	return w.write(KindActive, clock.Month{}, encodeObservation(recActiveObservation, o))
+}
+
+// ProbeReport streams one root-store probe result.
+func (w *Writer) ProbeReport(r *ProbeRecord) error {
+	return w.write(KindAux, clock.Month{}, encodeProbeReport(r))
+}
+
+// Downgrade streams one version-downgrade suite report.
+func (w *Writer) Downgrade(r *mitm.DowngradeReport) error {
+	return w.write(KindAux, clock.Month{}, encodeDowngrade(r))
+}
+
+// OldVersion streams one old-version acceptance report.
+func (w *Writer) OldVersion(r *mitm.OldVersionReport) error {
+	return w.write(KindAux, clock.Month{}, encodeOldVersion(r))
+}
+
+// Interception streams one interception suite report.
+func (w *Writer) Interception(r *mitm.InterceptionReport) error {
+	return w.write(KindAux, clock.Month{}, encodeInterception(r))
+}
+
+// Passthrough streams one traffic-passthrough control report.
+func (w *Writer) Passthrough(r *mitm.PassthroughReport) error {
+	return w.write(KindAux, clock.Month{}, encodePassthrough(r))
+}
+
+// Degradation streams one contained-incident log entry.
+func (w *Writer) Degradation(d core.Degradation) error {
+	return w.write(KindAux, clock.Month{}, encodeDegradation(d))
+}
+
+// Close flushes every shard and writes the manifest. The Writer is
+// unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	m := &Manifest{
+		Schema:    Schema,
+		Version:   Version,
+		Gzip:      w.opts.Gzip,
+		HasActive: w.active,
+		Runs:      w.runs,
+	}
+	for _, sw := range w.shards {
+		if sw.gz != nil {
+			if err := sw.gz.Close(); err != nil {
+				return fmt.Errorf("dataset: finish shard %s: %w", sw.info.File, err)
+			}
+		}
+		if err := sw.bw.Flush(); err != nil {
+			return fmt.Errorf("dataset: flush shard %s: %w", sw.info.File, err)
+		}
+		if err := sw.f.Close(); err != nil {
+			return fmt.Errorf("dataset: close shard %s: %w", sw.info.File, err)
+		}
+		sw.info.CRC32 = sw.crc.Sum32()
+		m.Shards = append(m.Shards, sw.info)
+	}
+	return writeManifest(w.dir, m)
+}
+
+// Write persists a whole in-memory Dataset to dir. It streams the
+// dataset's sections in their canonical in-memory order; the resulting
+// directory is deterministic for a deterministic Dataset.
+func Write(dir string, ds *Dataset, opts Options) (err error) {
+	span := opts.Telemetry.StartSpan("dataset.write")
+	defer func() { span.EndErr(err) }()
+	w, err := NewWriter(dir, opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range ds.Runs {
+		w.AddRun(r)
+	}
+	if ds.HasActive {
+		w.SetHasActive()
+	}
+	for _, o := range ds.Observations {
+		if err := w.Observation(o); err != nil {
+			return err
+		}
+	}
+	for _, ev := range ds.Revocations {
+		if err := w.Revocation(ev); err != nil {
+			return err
+		}
+	}
+	for _, o := range ds.ActiveObservations {
+		if err := w.ActiveObservation(o); err != nil {
+			return err
+		}
+	}
+	for _, r := range ds.ProbeReports {
+		if err := w.ProbeReport(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range ds.Downgrades {
+		if err := w.Downgrade(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range ds.OldVersions {
+		if err := w.OldVersion(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range ds.Interceptions {
+		if err := w.Interception(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range ds.Passthroughs {
+		if err := w.Passthrough(r); err != nil {
+			return err
+		}
+	}
+	for _, d := range ds.Degradations {
+		if err := w.Degradation(d); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -433,6 +433,34 @@ func (r *Registry) Get(id string) (*Device, bool) {
 	return d, ok
 }
 
+// Subset narrows the registry in place to the named devices — the
+// sharded-fleet capture mode, where independent study processes each
+// drive a disjoint device subset. Catalog order is preserved for the
+// kept devices; an unknown or duplicate ID is an error and leaves the
+// registry unchanged.
+func (r *Registry) Subset(ids []string) error {
+	keep := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := r.byID[id]; !ok {
+			return fmt.Errorf("device: unknown device %q in subset", id)
+		}
+		if keep[id] {
+			return fmt.Errorf("device: duplicate device %q in subset", id)
+		}
+		keep[id] = true
+	}
+	devices := make([]*Device, 0, len(ids))
+	byID := make(map[string]*Device, len(ids))
+	for _, d := range r.Devices {
+		if keep[d.ID] {
+			devices = append(devices, d)
+			byID[d.ID] = d
+		}
+	}
+	r.Devices, r.byID = devices, byID
+	return nil
+}
+
 // ActiveDevices returns the 32 devices used in active experiments.
 func (r *Registry) ActiveDevices() []*Device {
 	var out []*Device

@@ -54,9 +54,19 @@ func Write(dir string, s *core.Study, rep *core.Report) ([]string, error) {
 		{"figure2.csv", "Insecure-suite advertising (CSV)", heatmapCSV(rep.Figure2.Heatmap)},
 		{"figure3.csv", "Strong-suite establishment (CSV)", heatmapCSV(rep.Figure3.Heatmap)},
 	}
-	// The passive dataset itself.
+	// The passive dataset itself. The store also accumulates the active
+	// suites' later handshakes, so the export is clipped to the passive
+	// window — matching what the dataset subsystem persists and keeping
+	// live-run and restored-run artifacts byte-identical.
+	from, to := s.Window()
+	passive := capture.NewStore()
+	for _, o := range s.Store.All() {
+		if !o.Month.Before(from) && !to.Before(o.Month) {
+			passive.Add(o)
+		}
+	}
 	var ds strings.Builder
-	if _, err := capture.WriteCSV(&ds, s.Store); err != nil {
+	if _, err := capture.WriteCSV(&ds, passive); err != nil {
 		return nil, err
 	}
 	artifacts = append(artifacts, artifact{"observations.csv", "Passive observations (CSV)", ds.String()})
