@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build test race race-parallel chaos dataset vet bench bench-telemetry clean
+.PHONY: check build test race race-parallel chaos dataset serve vet bench bench-telemetry clean
 
 # check is the full verification gate: vet, build, the test suite under
 # the race detector, the parallel-study workload under the race
-# detector at eight workers, the fault-injection chaos matrix, and the
-# dataset round-trip and merge determinism suite.
-check: vet build race race-parallel chaos dataset
+# detector at eight workers, the fault-injection chaos matrix, the
+# dataset round-trip and merge determinism suite, and the study-service
+# scheduler/drain suite.
+check: vet build race race-parallel chaos dataset serve
 
 build:
 	$(GO) build ./...
@@ -42,6 +43,15 @@ dataset:
 	$(GO) test -race -run 'TestRoundTripByteIdentical|TestMerge|TestCorrupt|TestGoldenFixture' \
 		-count=1 -timeout 10m ./internal/dataset/
 
+# serve pins the study-service contracts under the race detector: the
+# scheduler's budget invariant and strict-FIFO admission, concurrent
+# jobs matching sequential runs byte for byte, the SIGTERM drain
+# persisting analyzable datasets, and the HTTP API surface (per-phase
+# progress, CRC-checked shard streaming, 429 shedding).
+serve:
+	$(GO) test -race -run 'TestScheduler|TestConcurrentJobsMatchSequential|TestDrain|TestHTTPAPIEndToEnd|TestQueueFullSheds429|TestAnalyzeAndMergeJobs|TestPerJobTelemetryIsolation' \
+		-count=1 -timeout 10m ./internal/serve/
+
 # bench measures the full study sequential vs parallel (in-memory and
 # with simulated 5ms connection-setup latency) and writes
 # BENCH_study.json; it then measures fault-subsystem overhead
@@ -55,6 +65,8 @@ bench:
 		-faults.benchout=$(CURDIR)/BENCH_faults.json
 	$(GO) test ./internal/dataset/ -run TestEmitDatasetBench -count=1 -timeout 30m \
 		-dataset.benchout=$(CURDIR)/BENCH_dataset.json
+	$(GO) test ./internal/serve/ -run TestEmitServeBench -count=1 -timeout 30m \
+		-serve.benchout=$(CURDIR)/BENCH_serve.json
 
 # bench-telemetry runs the full study through `iotls metrics report`
 # and captures the deterministic telemetry report.

@@ -6,11 +6,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/fault"
 )
 
 // debugStudy is the study the live inspector reports on: newStudy
@@ -18,48 +18,32 @@ import (
 // the run in progress.
 var debugStudy atomic.Pointer[core.Study]
 
-// studyParallelism is the global -parallel flag value applied to every
-// study the process builds.
-var studyParallelism int
+// studyConfig accumulates the global flags (-parallel, -fault-seed,
+// -fault-profile, -window, -io-deadline) into one job-scoped study
+// config; every subcommand builds its testbed from it, the same way a
+// serve job builds from a submitted spec.
+var studyConfig core.Config
 
-// studyFaults holds the fault plan built from the global -fault-seed /
-// -fault-profile flags; nil means faults are off.
-var studyFaults struct {
-	seed    uint64
-	profile fault.Profile
-	armed   bool
-}
-
-// armFaults validates the global fault flags. Either flag alone arms
-// the plan: a bare seed uses the "mild" profile, a bare profile uses
-// seed 1.
-func armFaults(seed uint64, profile string) error {
-	if seed == 0 && profile == "" {
-		return nil
+// armStudyConfig validates the global study flags into studyConfig.
+func armStudyConfig(seed uint64, profile, window string) error {
+	studyConfig.FaultSeed = seed
+	studyConfig.FaultProfile = profile
+	var err error
+	if studyConfig.WindowFrom, studyConfig.WindowTo, err = core.ParseWindow(window); err != nil {
+		return err
 	}
-	if profile == "" {
-		profile = "mild"
-	}
-	prof, ok := fault.Profiles[profile]
-	if !ok {
-		return fmt.Errorf("unknown fault profile %q (want off, mild, or aggressive)", profile)
-	}
-	if seed == 0 {
-		seed = 1
-	}
-	studyFaults.seed = seed
-	studyFaults.profile = prof
-	studyFaults.armed = true
-	return nil
+	return studyConfig.Validate()
 }
 
 // newStudy builds the testbed and registers it with the debug
 // inspector. All subcommands construct their study through this.
 func newStudy() *core.Study {
-	s := core.NewStudy()
-	s.Parallelism = studyParallelism
-	if studyFaults.armed {
-		s.SetFaultPlan(fault.NewPlan(studyFaults.seed, studyFaults.profile))
+	s, err := core.NewStudyFromConfig(studyConfig)
+	if err != nil {
+		// The config was validated at flag-parse time; reaching this is
+		// a programming error, not a usage one.
+		fmt.Fprintln(os.Stderr, "iotls:", err)
+		os.Exit(1)
 	}
 	debugStudy.Store(s)
 	return s

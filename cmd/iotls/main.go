@@ -15,6 +15,9 @@
 //	iotls audit              grade every device's TLS offer via the audit service (§6)
 //	iotls guard              boot all devices behind the gateway guard and report blocks (§6)
 //	iotls metrics [PHASE]    run a phase (default: report) and print the JSON telemetry report
+//	iotls serve -addr :8443  run the study service: a JSON HTTP API scheduling
+//	                         concurrent study/analyze/merge jobs under one
+//	                         global worker budget (see README "Serving")
 //
 // The global -parallel flag (before the subcommand) sets the worker
 // count for every parallelisable study phase (0, the default, means
@@ -64,9 +67,12 @@ func main() {
 	parallel := global.Int("parallel", 0, "worker count for parallel study phases (0 = GOMAXPROCS, 1 = sequential)")
 	faultSeed := global.Uint64("fault-seed", 0, "seed for the deterministic fault-injection plan (0 with no -fault-profile = faults off)")
 	faultProfile := global.String("fault-profile", "", "fault-injection profile: off, mild, or aggressive")
+	window := global.String("window", "", "passive collection window FROM..TO, e.g. 2018-01..2018-06 (default: the full study)")
+	ioDeadline := global.Duration("io-deadline", 0, "wall-clock safety-net deadline for post-handshake I/O (0 = the 5s default)")
 	global.Parse(os.Args[1:])
-	studyParallelism = *parallel
-	if err := armFaults(*faultSeed, *faultProfile); err != nil {
+	studyConfig.Parallelism = *parallel
+	studyConfig.IODeadline = *ioDeadline
+	if err := armStudyConfig(*faultSeed, *faultProfile, *window); err != nil {
 		fmt.Fprintln(os.Stderr, "iotls:", err)
 		os.Exit(2)
 	}
@@ -110,26 +116,38 @@ func main() {
 		err = runAudit()
 	case "guard":
 		err = runGuard()
+	case "serve":
+		err = runServe(args)
 	case "metrics":
 		err = runMetrics(args)
 	default:
 		usage()
 		os.Exit(2)
 	}
-	if errors.Is(err, errDegraded) {
-		fmt.Fprintln(os.Stderr, "iotls:", err)
-		os.Exit(3)
-	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iotls:", err)
-		os.Exit(1)
 	}
+	os.Exit(exitCodeFor(err))
 }
 
 // errDegraded marks a study that completed but contained incidents;
 // main maps it to exit code 3 so scripted fault campaigns can tell
 // "degraded but rendered" (3) apart from "failed" (1).
 var errDegraded = errors.New("study completed degraded")
+
+// exitCodeFor maps a subcommand's error to the process exit code:
+// 0 clean, 3 degraded-but-rendered, 1 failure. (Usage errors exit 2
+// before a subcommand runs.)
+func exitCodeFor(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errDegraded):
+		return 3
+	default:
+		return 1
+	}
+}
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: iotls [-debug-addr ADDR] <command>
@@ -154,19 +172,30 @@ commands:
   guard        boot all devices behind the gateway guard and report blocks (§6)
   metrics      run a phase (passive|active|probe|report) and print the
                JSON telemetry report (-o file, -months N)
+  serve        run the study service: JSON HTTP API for concurrent
+               study/analyze/merge jobs sharing one worker budget
+               (-addr :8443, -data DIR, -queue N; SIGTERM drains)
 
 flags:
   -parallel N          worker count for parallel study phases
                        (0 = GOMAXPROCS, 1 = sequential; artifacts are
-                       byte-identical at any value)
+                       byte-identical at any value); under serve this
+                       is the global worker budget shared by all jobs
   -fault-seed N        seed the deterministic fault-injection plan
                        (defaults the profile to mild when set alone)
   -fault-profile NAME  fault profile: off, mild, or aggressive
                        (defaults the seed to 1 when set alone)
+  -window FROM..TO     narrow the passive collection window
+                       (e.g. 2018-01..2018-06; default: full study)
+  -io-deadline D       wall-clock safety-net deadline for
+                       post-handshake I/O (default 5s; deterministic
+                       stalls from the fault plan stay the primary
+                       failure signal)
   -debug-addr ADDR     serve the live inspector (expvar at /debug/vars,
                        pprof at /debug/pprof/) on ADDR while running
 
-exit codes: 0 success, 1 failure, 2 usage, 3 study completed degraded`)
+exit codes: 0 success, 1 failure, 2 usage, 3 study completed degraded
+(or, for serve, any drained job degraded)`)
 }
 
 func runPassive() error {
@@ -272,7 +301,7 @@ func runExport(args []string) error {
 		last = last.Next()
 	}
 	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
-	gen.Parallelism = s.Parallelism
+	gen.Parallelism = s.Workers()
 	if _, err := gen.Run(device.StudyStart, last); err != nil {
 		return err
 	}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// runServe runs the long-lived study service. The global -parallel
+// flag is the worker budget shared by every concurrent job; SIGTERM
+// (or SIGINT) drains: running studies are interrupted and persisted as
+// datasets, queued jobs are cancelled, and the process exits 3 iff any
+// drained job finished degraded.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8443", "address to serve the JSON API on")
+	data := fs.String("data", "iotls-data", "data root for job datasets and artifacts")
+	queue := fs.Int("queue", 8, "admission queue capacity; a full queue sheds submissions with 429 (0 = unbounded)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "how long a drain waits for running jobs to persist")
+	fs.Parse(args)
+
+	budget := pool.Parallelism(studyConfig.Parallelism)
+	proc := telemetry.New(nil)
+	mgr, err := serve.NewManager(*data, budget, *queue, proc)
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewServer(mgr)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "iotls: serving on http://%s (budget %d workers, queue %d); SIGTERM drains\n",
+		ln.Addr(), budget, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills instead of waiting for the drain
+
+	fmt.Fprintln(os.Stderr, "iotls: draining — interrupting running jobs, cancelling queued ones")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	anyDegraded := mgr.Drain(drainCtx)
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	srv.Shutdown(shutCtx)
+	if anyDegraded {
+		return fmt.Errorf("%w: drained job(s) persisted partial datasets", errDegraded)
+	}
+	fmt.Fprintln(os.Stderr, "iotls: drained clean")
+	return nil
+}

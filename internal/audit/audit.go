@@ -228,7 +228,7 @@ func NewService(nw *netem.Network, host string, ca certs.KeyPair) *Service {
 		if res.Session != nil {
 			// Read the device's request (the transport is unbuffered;
 			// the client writes first), then answer with its grade.
-			res.Session.Conn.Conn.SetDeadline(time.Now().Add(5 * time.Second))
+			res.Session.Conn.Conn.SetDeadline(time.Now().Add(nw.IODeadline()))
 			buf := make([]byte, 1024)
 			res.Session.Conn.Read(buf)
 			fmt.Fprintf(res.Session.Conn, "AUDIT %s\n", adv.Grade)

@@ -170,7 +170,7 @@ func (c *Cloud) serveTLS(host string) netem.Handler {
 		defer sess.Close()
 		// Read the device's request and answer it.
 		buf := make([]byte, 1024)
-		sess.Conn.Conn.SetDeadline(time.Now().Add(5 * time.Second))
+		sess.Conn.Conn.SetDeadline(time.Now().Add(c.Network.IODeadline()))
 		if _, err := sess.Conn.Read(buf); err != nil {
 			return
 		}
@@ -209,7 +209,7 @@ func (c *Cloud) SetForceVersion(host string, v ciphers.Version) bool {
 func (c *Cloud) registerResponders() {
 	c.Network.Listen(OCSPHost, 80, func(conn net.Conn, meta netem.ConnMeta) {
 		defer conn.Close()
-		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		conn.SetDeadline(time.Now().Add(c.Network.IODeadline()))
 		buf := make([]byte, 256)
 		n, err := conn.Read(buf)
 		if err != nil || !strings.HasPrefix(string(buf[:n]), "OCSP-CHECK") {
@@ -223,7 +223,7 @@ func (c *Cloud) registerResponders() {
 	})
 	c.Network.Listen(CRLHost, 80, func(conn net.Conn, meta netem.ConnMeta) {
 		defer conn.Close()
-		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		conn.SetDeadline(time.Now().Add(c.Network.IODeadline()))
 		buf := make([]byte, 256)
 		n, err := conn.Read(buf)
 		if err != nil || !strings.HasPrefix(string(buf[:n]), "CRL-FETCH") {

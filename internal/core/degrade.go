@@ -82,6 +82,18 @@ func (s *Study) Degradations() []Degradation {
 // failure and — under an armed fault plan — when devices abandoned
 // connections (retry budgets exhausted) during the phase.
 func (s *Study) phase(name string, fn func() error) {
+	defer func() {
+		if s.PhaseDone != nil {
+			s.PhaseDone(name)
+		}
+	}()
+	if s.Interrupted() {
+		// A drained study skips everything it hasn't started: skipping
+		// degrades the run (the report is partial), which the exit-code
+		// contract and the serve drain path both rely on.
+		s.noteDegraded(name, "phase skipped: study interrupted (drain)")
+		return
+	}
 	pre := s.Telemetry.Counter("driver.giveups").Value()
 	if err := s.runContained(name, fn); err != nil {
 		s.noteDegraded(name, err.Error())

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -62,9 +63,39 @@ type Study struct {
 	// runs use a short window to keep the fault matrix fast.
 	PassiveFrom, PassiveTo clock.Month
 
+	// PhaseDone, when non-nil, is invoked after each RunAll phase
+	// finishes (contained), with the phase name. The serve layer's
+	// drain tests use it to coordinate a deterministic interruption
+	// point; it must not block on study work.
+	PhaseDone func(name string)
+
+	workersOnce sync.Once
+	workers     int
+
+	interrupted atomic.Bool
+
 	degradeMu    sync.Mutex
 	degradations []Degradation
 }
+
+// Workers resolves the study's effective worker count exactly once per
+// study. Every phase of one job must share the resolved value:
+// Parallelism <= 0 means GOMAXPROCS, and under a long-lived serve
+// process GOMAXPROCS can change mid-run — per-phase resolution could
+// then hand different phases different worker counts within one job.
+func (s *Study) Workers() int {
+	s.workersOnce.Do(func() { s.workers = pool.Parallelism(s.Parallelism) })
+	return s.workers
+}
+
+// Interrupt requests a graceful early stop: the passive generator ends
+// at the next month boundary and every phase not yet started is skipped
+// (each recorded as a degradation), leaving the study in a state
+// FromStudy can persist — the serve layer's SIGTERM drain path.
+func (s *Study) Interrupt() { s.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (s *Study) Interrupted() bool { return s.interrupted.Load() }
 
 // SetFaultPlan arms deterministic fault injection across the testbed:
 // the network consults the plan on every dial, and the driver's
@@ -152,7 +183,8 @@ func (s *Study) RunPassive() (*traffic.Stats, error) {
 func (s *Study) RunPassiveWindow(from, to clock.Month) (*traffic.Stats, error) {
 	sp := s.phaseSpan("passive")
 	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
-	gen.Parallelism = s.Parallelism
+	gen.Parallelism = s.Workers()
+	gen.Stop = s.Interrupted
 	stats, err := gen.Run(from, to)
 	sp.EndErr(err)
 	return stats, err
@@ -184,7 +216,7 @@ func (s *Study) CaptureActiveSnapshot() (*capture.Store, error) {
 	// Each device's boot sequence base is fixed by its registry index,
 	// so its hello randoms are identical at any parallelism.
 	devs := s.Registry.ActiveDevices()
-	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+	pool.Run(s.Workers(), len(devs), func(_, i int) {
 		driver.Boot(s.Network, devs[i], device.ActiveSnapshot, uint64(i)*100000)
 	})
 	if err := col.WaitIdlePatient(10*time.Second, 2); err != nil {
@@ -202,7 +234,7 @@ func (s *Study) RunInterceptionSuite() []*mitm.InterceptionReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.InterceptionReport, len(devs))
-	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+	pool.Run(s.Workers(), len(devs), func(_, i int) {
 		defer s.recoverDevice("interception", devs[i].ID, func() {
 			out[i] = &mitm.InterceptionReport{Device: devs[i].ID}
 		})
@@ -219,7 +251,7 @@ func (s *Study) RunDowngradeSuite() []*mitm.DowngradeReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.DowngradeReport, len(devs))
-	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+	pool.Run(s.Workers(), len(devs), func(_, i int) {
 		defer s.recoverDevice("downgrade", devs[i].ID, func() {
 			out[i] = &mitm.DowngradeReport{Device: devs[i].ID}
 		})
@@ -256,7 +288,7 @@ func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.PassthroughReport, len(devs))
-	pool.Run(s.Parallelism, len(devs), func(_, i int) {
+	pool.Run(s.Workers(), len(devs), func(_, i int) {
 		defer s.recoverDevice("passthrough", devs[i].ID, func() {
 			out[i] = &mitm.PassthroughReport{Device: devs[i].ID}
 		})
@@ -270,7 +302,7 @@ func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 func (s *Study) RunProbe() (amenable []*probe.Report, candidates int, err error) {
 	s.advanceToActiveWindow()
 	sp := s.phaseSpan("probe")
-	s.Prober.Parallelism = s.Parallelism
+	s.Prober.Parallelism = s.Workers()
 	amenable, candidates, err = s.Prober.ExploreAll()
 	sp.EndErr(err)
 	return amenable, candidates, err
@@ -327,10 +359,18 @@ func (s *Study) RunAll() (*Report, error) {
 		var err error
 		from, to := s.passiveWindow()
 		rep.PassiveStats, err = s.RunPassiveWindow(from, to)
+		if err == nil && s.Interrupted() {
+			// The generator stops cleanly at a month boundary, so the cut
+			// is only visible here: record it, or a drained dataset would
+			// pass for a full capture of the window.
+			err = fmt.Errorf("passive window interrupted after %d month(s) (drain)", rep.PassiveStats.Months)
+		}
 		return err
 	})
 
 	s.phase("passive_analysis", func() error {
+		sp := s.phaseSpan("passive_analysis")
+		defer sp.End("ok")
 		rep.Figure1 = analysis.BuildFigure1(s.Store, nameOf)
 		rep.Figure2 = analysis.BuildFigure2(s.Store, nameOf)
 		rep.Figure3 = analysis.BuildFigure3(s.Store, nameOf)

@@ -3,10 +3,50 @@ package dataset
 import (
 	"bytes"
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/clock"
 )
+
+// normalizeInputs resolves each input directory to a canonical absolute
+// path and rejects the same directory listed twice. This is the cheap
+// first line of defence against double-merging a dataset with itself;
+// the run-fingerprint check below catches the same dataset reached via
+// paths normalisation can't unify (copies, symlinks, bind mounts).
+func normalizeInputs(inDirs []string) error {
+	seen := make(map[string]string, len(inDirs))
+	for _, dir := range inDirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			abs = filepath.Clean(dir)
+		}
+		if resolved, err := filepath.EvalSymlinks(abs); err == nil {
+			abs = resolved
+		}
+		if prev, ok := seen[abs]; ok {
+			return fmt.Errorf("dataset: merge input %q is the same directory as %q: each dataset may be listed only once", dir, prev)
+		}
+		seen[abs] = dir
+	}
+	return nil
+}
+
+// checkDuplicateRun rejects the exact same run appearing twice across
+// merge inputs. Equal fingerprints mean identical provenance (seed,
+// profile, window, and full device set), i.e. the same dataset was
+// supplied twice — distinct from a provenance *collision*, where two
+// different captures overlap; the error says so plainly.
+func checkDuplicateRun(prev, r Run, prevSrc, src string) error {
+	if prev.Fingerprint() != r.Fingerprint() {
+		return nil
+	}
+	if prevSrc != "" && src != "" && prevSrc != src {
+		return fmt.Errorf("dataset: inputs %s and %s contain the same run %s (identical seed, fault profile, window, and devices): they are copies of one dataset, which may be merged only once",
+			prevSrc, src, r.Fingerprint())
+	}
+	return fmt.Errorf("dataset: run %s appears twice in the merge inputs: the same dataset may be merged only once", r.Fingerprint())
+}
 
 // runsCollide reports whether two provenance entries describe the same
 // simulated reality: identical fault configuration and passive window
@@ -41,6 +81,9 @@ func Union(sets ...*Dataset) (*Dataset, error) {
 	for _, ds := range sets {
 		for _, r := range ds.Runs {
 			for _, prev := range out.Runs {
+				if err := checkDuplicateRun(prev, r, "", ""); err != nil {
+					return nil, err
+				}
 				if runsCollide(prev, r) {
 					return nil, fmt.Errorf("dataset: provenance collision: runs %s and %s capture the same configuration (seed=%d profile=%q window=%s..%s) with overlapping devices",
 						prev.Fingerprint(), r.Fingerprint(), r.FaultSeed, r.FaultProfile, r.WindowFrom, r.WindowTo)
@@ -90,6 +133,9 @@ func Merge(outDir string, inDirs []string, opts Options) (err error) {
 	if len(inDirs) == 0 {
 		return fmt.Errorf("dataset: merge needs at least one input")
 	}
+	if err := normalizeInputs(inDirs); err != nil {
+		return err
+	}
 
 	var runs []Run
 	var runDirs []string
@@ -103,6 +149,9 @@ func Merge(outDir string, inDirs []string, opts Options) (err error) {
 		}
 		for _, r := range m.Runs {
 			for i, prev := range runs {
+				if err := checkDuplicateRun(prev, r, runDirs[i], dir); err != nil {
+					return err
+				}
 				if runsCollide(prev, r) {
 					return fmt.Errorf("dataset: provenance collision: run %s from %s and run %s from %s capture the same configuration (seed=%d profile=%q window=%s..%s) with overlapping devices",
 						prev.Fingerprint(), runDirs[i], r.Fingerprint(), dir, r.FaultSeed, r.FaultProfile, r.WindowFrom, r.WindowTo)

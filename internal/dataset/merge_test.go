@@ -146,13 +146,16 @@ func TestMergeOrderIndependent(t *testing.T) {
 
 // TestMergeRejectsCollision pins that merging two captures of the same
 // configuration (same seed, profile, window, overlapping devices) is
-// rejected with a clear error instead of double-counting.
+// rejected with a clear error instead of double-counting. The device
+// sets overlap without being identical: identical sets share a run
+// fingerprint and are rejected earlier as duplicates (see
+// TestMergeRejectsCopiedDataset).
 func TestMergeRejectsCollision(t *testing.T) {
 	idsA, _ := deviceHalves(t)
 	base := t.TempDir()
 	dirA, dirA2 := filepath.Join(base, "a"), filepath.Join(base, "a2")
 	captureSubset(t, dirA, idsA[:2])
-	captureSubset(t, dirA2, idsA[:2])
+	captureSubset(t, dirA2, idsA[1:3])
 
 	err := dataset.Merge(filepath.Join(base, "out"), []string{dirA, dirA2}, dataset.Options{})
 	if err == nil {
@@ -176,6 +179,84 @@ func TestMergeRejectsCollision(t *testing.T) {
 	captureSubset(t, dirB, idsA[2:4])
 	if err := dataset.Merge(filepath.Join(base, "ok"), []string{dirA, dirB}, dataset.Options{}); err != nil {
 		t.Fatalf("Merge of disjoint runs: %v", err)
+	}
+}
+
+// tinyDataset writes a minimal valid dataset carrying one provenance
+// run — enough for the duplicate-input checks, without a capture.
+func tinyDataset(t *testing.T, dir string) {
+	t.Helper()
+	w, err := dataset.NewWriter(dir, dataset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddRun(dataset.Run{WindowFrom: "2018-01", WindowTo: "2018-02", Devices: []string{"a", "b"}})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeRejectsSameDirTwice pins the first line of duplicate
+// defence: the same input directory listed twice — directly or through
+// a symlink — is rejected before any manifest is read.
+func TestMergeRejectsSameDirTwice(t *testing.T) {
+	t.Parallel()
+	base := t.TempDir()
+	dir := filepath.Join(base, "ds")
+	tinyDataset(t, dir)
+
+	err := dataset.Merge(filepath.Join(base, "out"), []string{dir, dir}, dataset.Options{})
+	if err == nil || !strings.Contains(err.Error(), "listed only once") {
+		t.Fatalf("Merge(dir, dir): err = %v, want listed-only-once error", err)
+	}
+
+	link := filepath.Join(base, "link")
+	if symErr := os.Symlink(dir, link); symErr == nil {
+		err = dataset.Merge(filepath.Join(base, "out2"), []string{dir, link}, dataset.Options{})
+		if err == nil || !strings.Contains(err.Error(), "listed only once") {
+			t.Fatalf("Merge(dir, symlink-to-dir): err = %v, want listed-only-once error", err)
+		}
+	}
+}
+
+// TestMergeRejectsCopiedDataset pins the second line: the same dataset
+// reached via two genuinely different directories (a file copy, which
+// path normalisation cannot unify) is caught by the manifest's run
+// fingerprint.
+func TestMergeRejectsCopiedDataset(t *testing.T) {
+	t.Parallel()
+	base := t.TempDir()
+	orig, copied := filepath.Join(base, "orig"), filepath.Join(base, "copy")
+	tinyDataset(t, orig)
+	if err := os.MkdirAll(copied, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(orig, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(copied, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	err = dataset.Merge(filepath.Join(base, "out"), []string{orig, copied}, dataset.Options{})
+	if err == nil || !strings.Contains(err.Error(), "copies of one dataset") {
+		t.Fatalf("Merge(orig, copy): err = %v, want copies-of-one-dataset error", err)
+	}
+
+	// The in-memory union applies the same fingerprint rule.
+	ds, err := dataset.Read(orig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataset.Union(ds, ds); err == nil || !strings.Contains(err.Error(), "appears twice") {
+		t.Fatalf("Union(ds, ds): err = %v, want appears-twice error", err)
 	}
 }
 

@@ -96,7 +96,7 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 	}
 
 	if err == nil {
-		finish(&out, sess, dev, dst)
+		finish(nw, &out, sess, dev, dst)
 		return out
 	}
 	out.Err = err
@@ -121,7 +121,7 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 	out.FallbackEstablished = true
 	out.Err = nil
 	tel.Counter("driver.fallbacks.established").Inc()
-	finish(&out, sess, dev, dst)
+	finish(nw, &out, sess, dev, dst)
 	return out
 }
 
@@ -157,8 +157,10 @@ func dialAndHandshake(nw *netem.Network, dev *device.Device, dst device.Destinat
 	return tlssim.Client(conn, cfg, dst.Host, seq)
 }
 
-// finish exchanges application data over the established session.
-func finish(out *Outcome, sess *tlssim.Session, dev *device.Device, dst device.Destination) {
+// finish exchanges application data over the established session. The
+// reply read carries the network's configured I/O deadline — a safety
+// net only; a server that will never answer declares the stall instead.
+func finish(nw *netem.Network, out *Outcome, sess *tlssim.Session, dev *device.Device, dst device.Destination) {
 	out.Established = true
 	out.Version = sess.Version
 	out.Suite = sess.Suite
@@ -167,7 +169,7 @@ func finish(out *Outcome, sess *tlssim.Session, dev *device.Device, dst device.D
 	if _, err := io.WriteString(sess.Conn, dev.Payload(dst.Host)); err != nil {
 		return
 	}
-	sess.Conn.Conn.SetDeadline(time.Now().Add(5 * time.Second))
+	sess.Conn.Conn.SetDeadline(time.Now().Add(nw.IODeadline()))
 	buf := make([]byte, 256)
 	n, err := sess.Conn.Read(buf)
 	if err == nil {

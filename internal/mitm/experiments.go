@@ -2,6 +2,7 @@ package mitm
 
 import (
 	"net"
+	"sort"
 	"sync"
 
 	"repro/internal/certs"
@@ -386,6 +387,9 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 	for h := range seen {
 		report.AttackHosts = append(report.AttackHosts, h)
 	}
+	// Map iteration order is randomized; the report is serialized into
+	// dataset shards, so the host lists must be deterministic.
+	sort.Strings(report.AttackHosts)
 
 	// Phase 2: passthrough — previously-failed hosts go to the real
 	// servers; others stay intercepted.
@@ -420,5 +424,7 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 		}
 	}
 	mu.Unlock()
+	sort.Strings(report.PassthroughHosts)
+	sort.Strings(report.NewHosts)
 	return report
 }

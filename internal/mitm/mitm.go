@@ -295,7 +295,7 @@ func (p *Proxy) serveAttack(attack Attack, host string, chain []*certs.Certifica
 	tel.Counter("mitm.intercepted").Inc()
 	sess := res.Session
 	defer sess.Close()
-	sess.Conn.Conn.SetDeadline(time.Now().Add(5 * time.Second))
+	sess.Conn.Conn.SetDeadline(time.Now().Add(p.nw.IODeadline()))
 	buf := make([]byte, 1024)
 	n, err := sess.Conn.Read(buf)
 	if err == nil {

@@ -76,11 +76,24 @@ type Impairment struct {
 	DropEveryN int
 }
 
+// DefaultIODeadline is the wall-clock deadline applied to
+// post-handshake application reads across the testbed (driver replies,
+// cloud request handling, the mitm payload read, the audit exchange,
+// and the OCSP/CRL responders). It is a safety net against bugs, not a
+// simulation mechanism: the deterministic stall signal (Staller) is the
+// primary failure path, and this deadline only has to be long enough
+// that scheduling delays on a loaded host can never flip an outcome.
+const DefaultIODeadline = 5 * time.Second
+
 // Network is the simulated smart-home network: devices on one side, a
 // gateway in the middle, and cloud services on the other.
 type Network struct {
 	clk clock.Clock
 	tel *telemetry.Registry
+
+	// ioDeadline holds the configured application-I/O deadline in
+	// nanoseconds; zero means DefaultIODeadline.
+	ioDeadline atomic.Int64
 
 	mu              sync.RWMutex
 	listeners       map[string]Handler
@@ -115,6 +128,26 @@ func New(clk clock.Clock) *Network {
 // Telemetry returns the network's metrics registry, the shared
 // observability surface of one testbed.
 func (n *Network) Telemetry() *telemetry.Registry { return n.tel }
+
+// SetIODeadline configures the testbed-wide application-I/O deadline
+// (values <= 0 restore DefaultIODeadline). One knob covers every
+// post-handshake read so a loaded CI box — or a serve process packing
+// many concurrent jobs onto one machine — can raise it in one place
+// instead of hitting spurious expiries the virtual clock never sees.
+func (n *Network) SetIODeadline(d time.Duration) {
+	if d <= 0 {
+		d = 0
+	}
+	n.ioDeadline.Store(int64(d))
+}
+
+// IODeadline returns the configured application-I/O deadline.
+func (n *Network) IODeadline() time.Duration {
+	if d := n.ioDeadline.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	return DefaultIODeadline
+}
 
 // ErrNoRoute is returned by Dial when no listener serves the destination.
 var ErrNoRoute = errors.New("netem: no route to host")

@@ -16,11 +16,25 @@ import (
 	"repro/internal/core"
 )
 
-// artifact is one output file.
+// artifact is one output file, rendered lazily so a missing section of
+// a degraded report (nil figure after a drained or fault-ridden run)
+// yields a placeholder file instead of sinking the whole Write.
 type artifact struct {
-	Name    string
-	Title   string
-	Content string
+	Name   string
+	Title  string
+	Render func() string
+}
+
+// renderSafe invokes one artifact renderer contained: a panic (nil
+// figure, damaged analysis) becomes an explicit placeholder, matching
+// the PARTIAL annotations core.Report.Render uses for the same inputs.
+func renderSafe(render func() string) (out string) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = fmt.Sprintf("[PARTIAL: artifact unavailable — %v]\n", p)
+		}
+	}()
+	return render()
 }
 
 // Write renders every artifact of rep into dir (created if needed) and
@@ -31,28 +45,30 @@ func Write(dir string, s *core.Study, rep *core.Report) ([]string, error) {
 	}
 	nameOf := s.NameOf
 	artifacts := []artifact{
-		{"table1.txt", "Device inventory", analysis.RenderTable1(s.Registry)},
-		{"table2.txt", "Interception attacks", analysis.RenderTable2()},
-		{"table3.txt", "Root-store sources", analysis.RenderTable3()},
-		{"table4.txt", "Library alert amenability", analysis.RenderTable4(rep.Table4Rows)},
-		{"table5.txt", "Downgrade behaviours", analysis.RenderTable5(rep.Downgrades, nameOf)},
-		{"table6.txt", "Old-version support", analysis.RenderTable6(rep.OldVersions, nameOf)},
-		{"table7.txt", "Interception vulnerability", analysis.RenderTable7(rep.Interceptions, nameOf)},
-		{"table8.txt", "Revocation support", rep.Table8.Render()},
-		{"table9.txt", "Root-store exploration", analysis.RenderTable9(rep.ProbeReports, nameOf)},
-		{"figure1.txt", "Version heatmaps", rep.Figure1.Render()},
-		{"figure2.txt", "Insecure-suite advertising", rep.Figure2.Render()},
-		{"figure3.txt", "Strong-suite establishment", rep.Figure3.Render()},
-		{"figure4.txt", "Root staleness", rep.Figure4.Render()},
-		{"figure5.txt", "Fingerprint sharing", rep.Figure5.Render()},
-		{"stats.txt", "Statistics", strings.Join([]string{
-			rep.Comparison.Render(),
-			rep.Passthrough.Render(),
-			rep.Dataset.Render(),
-			rep.Diversity.Render(),
-		}, "\n")},
-		{"figure2.csv", "Insecure-suite advertising (CSV)", heatmapCSV(rep.Figure2.Heatmap)},
-		{"figure3.csv", "Strong-suite establishment (CSV)", heatmapCSV(rep.Figure3.Heatmap)},
+		{"table1.txt", "Device inventory", func() string { return analysis.RenderTable1(s.Registry) }},
+		{"table2.txt", "Interception attacks", analysis.RenderTable2},
+		{"table3.txt", "Root-store sources", analysis.RenderTable3},
+		{"table4.txt", "Library alert amenability", func() string { return analysis.RenderTable4(rep.Table4Rows) }},
+		{"table5.txt", "Downgrade behaviours", func() string { return analysis.RenderTable5(rep.Downgrades, nameOf) }},
+		{"table6.txt", "Old-version support", func() string { return analysis.RenderTable6(rep.OldVersions, nameOf) }},
+		{"table7.txt", "Interception vulnerability", func() string { return analysis.RenderTable7(rep.Interceptions, nameOf) }},
+		{"table8.txt", "Revocation support", func() string { return rep.Table8.Render() }},
+		{"table9.txt", "Root-store exploration", func() string { return analysis.RenderTable9(rep.ProbeReports, nameOf) }},
+		{"figure1.txt", "Version heatmaps", func() string { return rep.Figure1.Render() }},
+		{"figure2.txt", "Insecure-suite advertising", func() string { return rep.Figure2.Render() }},
+		{"figure3.txt", "Strong-suite establishment", func() string { return rep.Figure3.Render() }},
+		{"figure4.txt", "Root staleness", func() string { return rep.Figure4.Render() }},
+		{"figure5.txt", "Fingerprint sharing", func() string { return rep.Figure5.Render() }},
+		{"stats.txt", "Statistics", func() string {
+			return strings.Join([]string{
+				renderSafe(rep.Comparison.Render),
+				renderSafe(rep.Passthrough.Render),
+				renderSafe(rep.Dataset.Render),
+				renderSafe(rep.Diversity.Render),
+			}, "\n")
+		}},
+		{"figure2.csv", "Insecure-suite advertising (CSV)", func() string { return heatmapCSV(rep.Figure2.Heatmap) }},
+		{"figure3.csv", "Strong-suite establishment (CSV)", func() string { return heatmapCSV(rep.Figure3.Heatmap) }},
 	}
 	// The passive dataset itself. The store also accumulates the active
 	// suites' later handshakes, so the export is clipped to the passive
@@ -69,14 +85,15 @@ func Write(dir string, s *core.Study, rep *core.Report) ([]string, error) {
 	if _, err := capture.WriteCSV(&ds, passive); err != nil {
 		return nil, err
 	}
-	artifacts = append(artifacts, artifact{"observations.csv", "Passive observations (CSV)", ds.String()})
+	csv := ds.String()
+	artifacts = append(artifacts, artifact{"observations.csv", "Passive observations (CSV)", func() string { return csv }})
 
 	var written []string
 	var index strings.Builder
 	index.WriteString("# IoTLS study artifacts\n\n")
 	for _, a := range artifacts {
 		path := filepath.Join(dir, a.Name)
-		if err := os.WriteFile(path, []byte(a.Content), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(renderSafe(a.Render)), 0o644); err != nil {
 			return written, err
 		}
 		written = append(written, a.Name)

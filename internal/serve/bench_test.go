@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+var serveBenchOut = flag.String("serve.benchout", "", "write the study-service benchmark to this JSON file")
+
+// runBatch submits n study jobs of the given weight to a fresh manager
+// with the given budget and waits for all of them, returning the
+// wall-clock duration. Every job must finish clean.
+func runBatch(tb testing.TB, budget, n, weight int) time.Duration {
+	tb.Helper()
+	m, err := NewManager(tb.TempDir(), budget, 0, telemetry.New(nil))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	var jobs []*Job
+	for i := 0; i < n; i++ {
+		j, err := m.Submit(JobSpec{Kind: KindStudy, Window: "2018-01..2018-01", Weight: weight})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		<-j.Done()
+		if j.State() != StateDone {
+			tb.Fatalf("bench job %s: state %s (err %q)", j.ID, j.State(), j.Err())
+		}
+	}
+	return time.Since(start)
+}
+
+// TestEmitServeBench measures service throughput (jobs per minute) for
+// the same batch of study jobs run sequentially (each job leases the
+// whole budget) vs concurrently (weight-1 jobs sharing it), writing
+// BENCH_serve.json. It only runs when -serve.benchout is set
+// (`make bench`).
+func TestEmitServeBench(t *testing.T) {
+	if *serveBenchOut == "" {
+		t.Skip("set -serve.benchout to emit BENCH_serve.json")
+	}
+	const budget = 4
+	const jobs = 4
+
+	// Weight == budget means the scheduler admits one job at a time; the
+	// batch runs back to back. Weight 1 lets all four jobs run at once.
+	seq := runBatch(t, budget, jobs, budget)
+	conc := runBatch(t, budget, jobs, 1)
+
+	jpm := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(jobs) / d.Minutes()
+	}
+	doc := struct {
+		Schema     string  `json:"schema"`
+		Cores      int     `json:"cores"`
+		Budget     int     `json:"budget"`
+		Jobs       int     `json:"jobs"`
+		SeqMs      int64   `json:"sequential_ms"`
+		ConcMs     int64   `json:"concurrent_ms"`
+		SeqJobsPM  float64 `json:"sequential_jobs_per_min"`
+		ConcJobsPM float64 `json:"concurrent_jobs_per_min"`
+		Speedup    float64 `json:"speedup"`
+	}{
+		Schema:     "iotls/bench-serve/v1",
+		Cores:      runtime.NumCPU(),
+		Budget:     budget,
+		Jobs:       jobs,
+		SeqMs:      seq.Milliseconds(),
+		ConcMs:     conc.Milliseconds(),
+		SeqJobsPM:  jpm(seq),
+		ConcJobsPM: jpm(conc),
+		Speedup:    seq.Seconds() / conc.Seconds(),
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*serveBenchOut, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sequential %.1f jobs/min, concurrent %.1f jobs/min (%.2fx)",
+		doc.SeqJobsPM, doc.ConcJobsPM, doc.Speedup)
+}

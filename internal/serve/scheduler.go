@@ -1,0 +1,178 @@
+// Package serve turns the study engine into a long-running service:
+// a job scheduler that runs capture/analyze/merge jobs concurrently
+// under one global worker budget, a JSON HTTP API to submit jobs, poll
+// per-phase progress, and fetch artifacts and dataset shards, and a
+// SIGTERM drain path that persists running studies as datasets.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// ErrQueueFull is returned by Enqueue when the admission queue is at
+// capacity; the HTTP layer maps it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: scheduler queue full")
+
+// Scheduler leases worker slots from one global budget to jobs. Each
+// job declares a weight (how many study workers it will run with);
+// grants are strict FIFO, so a heavy job at the head of the queue is
+// never starved by lighter jobs slipping past it.
+type Scheduler struct {
+	budget   int
+	queueCap int
+	tel      *telemetry.Registry
+
+	mu    sync.Mutex
+	inUse int
+	queue []*Ticket
+}
+
+// NewScheduler builds a scheduler with the given worker budget and
+// admission-queue capacity. budget must be at least 1; queueCap <= 0
+// means an unbounded queue. Telemetry (serve.sched.* gauges and
+// counters) lands in tel, which may be nil.
+func NewScheduler(budget, queueCap int, tel *telemetry.Registry) *Scheduler {
+	if budget < 1 {
+		budget = 1
+	}
+	return &Scheduler{budget: budget, queueCap: queueCap, tel: tel}
+}
+
+// Budget returns the global worker budget.
+func (s *Scheduler) Budget() int { return s.budget }
+
+// InUse returns the currently leased worker count.
+func (s *Scheduler) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}
+
+// QueueLen returns the number of tickets waiting for a grant.
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Ticket is one job's claim on the worker budget. A ticket is either
+// queued, granted, or finished (released/cancelled); Wait blocks until
+// the grant, and Release returns the lease.
+type Ticket struct {
+	sched  *Scheduler
+	weight int
+	ready  chan struct{} // closed exactly once, under sched.mu, on grant
+
+	// All mutated under sched.mu.
+	granted  bool
+	finished bool // released after grant, or cancelled before it
+}
+
+// Weight returns the worker count this ticket leases.
+func (t *Ticket) Weight() int { return t.weight }
+
+// Enqueue claims weight workers. The weight is clamped to [1, budget]
+// so a single job can never deadlock by out-sizing the whole budget.
+// If the budget has room and nothing is queued ahead, the ticket is
+// granted immediately; otherwise it joins the FIFO queue, and if the
+// queue is full ErrQueueFull is returned (shed load, don't buffer it).
+func (s *Scheduler) Enqueue(weight int) (*Ticket, error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > s.budget {
+		weight = s.budget
+	}
+	t := &Ticket{sched: s, weight: weight, ready: make(chan struct{})}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 && s.inUse+weight <= s.budget {
+		s.grantLocked(t)
+		return t, nil
+	}
+	if s.queueCap > 0 && len(s.queue) >= s.queueCap {
+		s.tel.Counter("serve.sched.shed").Inc()
+		return nil, fmt.Errorf("%w: %d ticket(s) already queued", ErrQueueFull, len(s.queue))
+	}
+	s.queue = append(s.queue, t)
+	s.tel.Gauge("serve.sched.queued").Set(int64(len(s.queue)))
+	return t, nil
+}
+
+// grantLocked leases t's weight. Caller holds s.mu.
+func (s *Scheduler) grantLocked(t *Ticket) {
+	s.inUse += t.weight
+	t.granted = true
+	close(t.ready)
+	s.tel.Counter("serve.sched.granted").Inc()
+	s.tel.Gauge("serve.sched.in_use").Set(int64(s.inUse))
+}
+
+// pumpLocked grants queued tickets in strict FIFO order while the
+// budget allows. It never skips the head: if the head doesn't fit,
+// nothing behind it runs either, which is what prevents a stream of
+// light jobs from starving a heavy one. Caller holds s.mu.
+func (s *Scheduler) pumpLocked() {
+	for len(s.queue) > 0 && s.inUse+s.queue[0].weight <= s.budget {
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		s.grantLocked(t)
+	}
+	s.tel.Gauge("serve.sched.queued").Set(int64(len(s.queue)))
+}
+
+// Wait blocks until the ticket is granted or ctx is done. On a context
+// cancellation the ticket is withdrawn: removed from the queue, or —
+// if the grant raced the cancellation — released again.
+func (t *Ticket) Wait(ctx context.Context) error {
+	select {
+	case <-t.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	s := t.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.granted {
+		// The grant won the race; the lease is live, so hand it back.
+		if !t.finished {
+			t.finished = true
+			s.inUse -= t.weight
+			s.tel.Gauge("serve.sched.in_use").Set(int64(s.inUse))
+			s.pumpLocked()
+		}
+		return ctx.Err()
+	}
+	t.finished = true
+	for i, q := range s.queue {
+		if q == t {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	s.tel.Counter("serve.sched.cancelled").Inc()
+	s.tel.Gauge("serve.sched.queued").Set(int64(len(s.queue)))
+	return ctx.Err()
+}
+
+// Release returns the ticket's lease and pumps the queue. Releasing a
+// never-granted or already-released ticket is a no-op, so callers may
+// defer it unconditionally.
+func (t *Ticket) Release() {
+	s := t.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !t.granted || t.finished {
+		return
+	}
+	t.finished = true
+	s.inUse -= t.weight
+	s.tel.Counter("serve.sched.released").Inc()
+	s.tel.Gauge("serve.sched.in_use").Set(int64(s.inUse))
+	s.pumpLocked()
+}

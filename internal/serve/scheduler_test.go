@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// waitGranted asserts the ticket's grant arrives promptly.
+func waitGranted(t *testing.T, tk *Ticket) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tk.Wait(ctx); err != nil {
+		t.Fatalf("ticket not granted: %v", err)
+	}
+}
+
+// granted reports whether the ticket's grant has landed, without
+// blocking.
+func granted(tk *Ticket) bool {
+	select {
+	case <-tk.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// TestSchedulerImmediateGrant pins the fast path: an empty scheduler
+// grants a fitting ticket synchronously, and oversized weights clamp
+// to the budget instead of deadlocking.
+func TestSchedulerImmediateGrant(t *testing.T) {
+	s := NewScheduler(4, 0, nil)
+	tk, err := s.Enqueue(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !granted(tk) {
+		t.Fatal("fitting ticket was queued instead of granted")
+	}
+	if got := s.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+	tk.Release()
+
+	// Weight 99 clamps to the whole budget rather than waiting forever.
+	big, err := s.Enqueue(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !granted(big) || big.Weight() != 4 {
+		t.Fatalf("oversized ticket: granted=%v weight=%d, want granted weight 4", granted(big), big.Weight())
+	}
+	big.Release()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+}
+
+// TestSchedulerFIFONoStarvation pins the strict-FIFO contract: a heavy
+// job at the head of the queue blocks lighter jobs behind it even when
+// they would fit, so a stream of light jobs can never starve it.
+func TestSchedulerFIFONoStarvation(t *testing.T) {
+	s := NewScheduler(4, 0, nil)
+	running, err := s.Enqueue(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := s.Enqueue(4) // doesn't fit beside running
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := s.Enqueue(1) // would fit, but is behind heavy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted(heavy) || granted(light) {
+		t.Fatal("queued tickets granted while the budget is held")
+	}
+
+	running.Release()
+	waitGranted(t, heavy)
+	if granted(light) {
+		t.Fatal("light ticket skipped past the heavy head of the queue")
+	}
+	heavy.Release()
+	waitGranted(t, light)
+	light.Release()
+}
+
+// TestSchedulerShedsWhenQueueFull pins the backpressure contract: a
+// full admission queue rejects with ErrQueueFull instead of buffering.
+func TestSchedulerShedsWhenQueueFull(t *testing.T) {
+	tel := telemetry.New(nil)
+	s := NewScheduler(1, 2, tel)
+	running, _ := s.Enqueue(1)
+	if _, err := s.Enqueue(1); err != nil {
+		t.Fatalf("first queued ticket: %v", err)
+	}
+	if _, err := s.Enqueue(1); err != nil {
+		t.Fatalf("second queued ticket: %v", err)
+	}
+	if _, err := s.Enqueue(1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity enqueue: err = %v, want ErrQueueFull", err)
+	}
+	if got := tel.Snapshot().Counters["serve.sched.shed"]; got != 1 {
+		t.Fatalf("serve.sched.shed = %d, want 1", got)
+	}
+	running.Release()
+}
+
+// TestSchedulerCancelWhileQueued pins withdrawal: a context
+// cancellation removes the ticket from the queue and lets later
+// tickets through.
+func TestSchedulerCancelWhileQueued(t *testing.T) {
+	s := NewScheduler(1, 0, nil)
+	running, _ := s.Enqueue(1)
+	queued, _ := s.Enqueue(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := queued.Wait(ctx); err == nil {
+		t.Fatal("Wait on a cancelled context returned nil")
+	}
+	if got := s.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after withdrawal = %d, want 0", got)
+	}
+	next, _ := s.Enqueue(1)
+	running.Release()
+	waitGranted(t, next)
+	next.Release()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+}
+
+// TestSchedulerBudgetInvariant hammers the scheduler from many
+// goroutines and asserts the sum of granted weights never exceeds the
+// budget. Run under -race this also exercises the grant/release/cancel
+// synchronization.
+func TestSchedulerBudgetInvariant(t *testing.T) {
+	const budget = 4
+	const jobs = 64
+	s := NewScheduler(budget, 0, nil)
+	var inUse atomic.Int64
+	var peakErr atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		weight := 1 + i%budget
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk, err := s.Enqueue(w)
+			if err != nil {
+				t.Errorf("Enqueue: %v", err)
+				return
+			}
+			waitGranted(t, tk)
+			if cur := inUse.Add(int64(tk.Weight())); cur > budget {
+				peakErr.Store(true)
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-int64(tk.Weight()))
+			tk.Release()
+		}(weight)
+	}
+	wg.Wait()
+	if peakErr.Load() {
+		t.Fatalf("concurrent leases exceeded the budget of %d", budget)
+	}
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after all releases = %d, want 0", got)
+	}
+	if got := s.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after all releases = %d, want 0", got)
+	}
+}
+
+// TestSchedulerReleaseIdempotent pins that double-release (and
+// release-after-cancel) cannot corrupt the budget.
+func TestSchedulerReleaseIdempotent(t *testing.T) {
+	s := NewScheduler(2, 0, nil)
+	tk, _ := s.Enqueue(2)
+	tk.Release()
+	tk.Release()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after double release = %d, want 0", got)
+	}
+	// A granted ticket whose Wait is cancelled releases exactly once.
+	tk2, _ := s.Enqueue(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tk2.Wait(ctx) // grant already landed; the lease is handed back
+	tk2.Release()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after cancel+release = %d, want 0", got)
+	}
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// CRCHeader carries a shard's manifest CRC32 (IEEE, over the
+// uncompressed stream) on dataset file responses, so a client can
+// verify what it streamed without re-reading the manifest.
+const CRCHeader = "X-IoTLS-CRC32"
+
+// RetryAfterSeconds is the backpressure hint on 429 responses.
+const RetryAfterSeconds = 5
+
+// Server is the HTTP face of a Manager.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the API routes around m.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.submitJob)
+	s.mux.HandleFunc("GET /jobs", s.listJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.getJob)
+	s.mux.HandleFunc("GET /jobs/{id}/artifacts", s.listArtifacts)
+	s.mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.getArtifact)
+	s.mux.HandleFunc("GET /jobs/{id}/dataset", s.getDatasetIndex)
+	s.mux.HandleFunc("GET /jobs/{id}/dataset/{file}", s.getDatasetFile)
+	s.mux.HandleFunc("GET /metrics", s.processMetrics)
+	s.mux.HandleFunc("GET /metrics/jobs/{id}", s.jobMetrics)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.m.proc.Counter("serve.http.requests").Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitJob handles POST /jobs.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j, err := s.m.Submit(spec)
+	if errors.Is(err, ErrQueueFull) {
+		// Shed load: the queue is the buffer, and it's full. The client
+		// should back off and resubmit.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.StatusNow())
+}
+
+// listJobs handles GET /jobs.
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.m.Jobs()
+	out := struct {
+		Budget int      `json:"budget"`
+		InUse  int      `json:"in_use"`
+		Queued int      `json:"queued"`
+		Jobs   []Status `json:"jobs"`
+	}{
+		Budget: s.m.sched.Budget(),
+		InUse:  s.m.sched.InUse(),
+		Queued: s.m.sched.QueueLen(),
+		Jobs:   make([]Status, 0, len(jobs)),
+	}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.StatusNow())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// job resolves the {id} path value or writes 404.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+// getJob handles GET /jobs/{id}.
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.StatusNow())
+	}
+}
+
+// requireDone rejects artifact/dataset fetches for unfinished jobs
+// with 409 (the state is in the body; poll until done).
+func requireDone(w http.ResponseWriter, j *Job) bool {
+	switch j.State() {
+	case StateDone, StateFailed:
+		return true
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; artifacts exist once it finishes", j.ID, j.State())
+		return false
+	}
+}
+
+// listArtifacts handles GET /jobs/{id}/artifacts.
+func (s *Server) listArtifacts(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok || !requireDone(w, j) {
+		return
+	}
+	names, err := j.sortedArtifacts()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "job %s has no artifacts", j.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Artifacts []string `json:"artifacts"`
+	}{names})
+}
+
+// getArtifact handles GET /jobs/{id}/artifacts/{name}.
+func (s *Server) getArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok || !requireDone(w, j) {
+		return
+	}
+	name := r.PathValue("name")
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		writeError(w, http.StatusBadRequest, "bad artifact name %q", name)
+		return
+	}
+	path := filepath.Join(j.ArtifactDir(), name)
+	f, err := os.Open(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "job %s has no artifact %q", j.ID, name)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.Copy(w, f)
+}
+
+// datasetManifest loads the job's dataset manifest or writes an error.
+func (s *Server) datasetManifest(w http.ResponseWriter, j *Job) (*dataset.Manifest, bool) {
+	raw, err := os.ReadFile(filepath.Join(j.DatasetDir(), dataset.ManifestName))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "job %s has no dataset", j.ID)
+		return nil, false
+	}
+	m := &dataset.Manifest{}
+	if err := json.Unmarshal(raw, m); err != nil {
+		writeError(w, http.StatusInternalServerError, "job %s: corrupt manifest: %v", j.ID, err)
+		return nil, false
+	}
+	return m, true
+}
+
+// getDatasetIndex handles GET /jobs/{id}/dataset: the manifest, which
+// carries every shard's file name, record count, and CRC32.
+func (s *Server) getDatasetIndex(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok || !requireDone(w, j) {
+		return
+	}
+	m, ok := s.datasetManifest(w, j)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// getDatasetFile handles GET /jobs/{id}/dataset/{file}: streams one
+// shard (or the manifest itself) with the manifest CRC in CRCHeader.
+func (s *Server) getDatasetFile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok || !requireDone(w, j) {
+		return
+	}
+	name := r.PathValue("file")
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		writeError(w, http.StatusBadRequest, "bad dataset file name %q", name)
+		return
+	}
+	m, ok := s.datasetManifest(w, j)
+	if !ok {
+		return
+	}
+	if name != dataset.ManifestName {
+		found := false
+		for _, sh := range m.Shards {
+			if sh.File == name {
+				w.Header().Set(CRCHeader, fmt.Sprintf("%08x", sh.CRC32))
+				found = true
+				break
+			}
+		}
+		if !found {
+			writeError(w, http.StatusNotFound, "job %s dataset has no shard %q", j.ID, name)
+			return
+		}
+	}
+	f, err := os.Open(filepath.Join(j.DatasetDir(), name))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "job %s dataset: %v", j.ID, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
+	s.m.proc.Counter("serve.dataset.streams").Inc()
+}
+
+// processMetrics handles GET /metrics: the process-wide registry.
+func (s *Server) processMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.proc.Snapshot())
+}
+
+// jobMetrics handles GET /metrics/jobs/{id}: the job's own registry —
+// a study job's full testbed telemetry, isolated from every other
+// job's.
+func (s *Server) jobMetrics(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Registry().Snapshot())
+	}
+}
+
+// healthz handles GET /healthz.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	if s.m.isDraining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Budget int    `json:"budget"`
+		InUse  int    `json:"in_use"`
+		Queued int    `json:"queued"`
+	}{state, s.m.sched.Budget(), s.m.sched.InUse(), s.m.sched.QueueLen()})
+}

@@ -42,6 +42,14 @@ type Generator struct {
 	// engine exactly (and any value reproduces its artifacts).
 	Parallelism int
 
+	// Stop, when non-nil, is polled at each month boundary; once it
+	// returns true the run ends before simulating the next month. The
+	// completed months are byte-identical to the same months of an
+	// uninterrupted run (sequence numbers advance strictly in month
+	// order), which is what lets a drained serve job persist a dataset
+	// whose shards match a clean capture's.
+	Stop func() bool
+
 	// seq numbers every planned connection. It only advances during
 	// single-threaded work enumeration; workers read the pre-assigned
 	// values, so no handshake's randoms depend on scheduling.
@@ -87,6 +95,10 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 	tel := g.Network.Telemetry()
 	workers := pool.Parallelism(g.Parallelism)
 	for m := first; !last.Before(m); m = m.Next() {
+		if g.Stop != nil && g.Stop() {
+			tel.Counter("traffic.stopped").Inc()
+			break
+		}
 		sp := tel.StartSpan("traffic.month")
 		// Mid-month timestamp so observations land in the right bucket.
 		if t := m.Start().Add(14 * 24 * time.Hour); t.After(g.Clock.Now()) {
