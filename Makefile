@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build test race race-parallel chaos dataset serve vet bench bench-telemetry clean
+.PHONY: check build test race race-parallel chaos dataset serve trace vet bench bench-telemetry clean
 
 # check is the full verification gate: vet, build, the test suite under
 # the race detector, the parallel-study workload under the race
 # detector at eight workers, the fault-injection chaos matrix, the
-# dataset round-trip and merge determinism suite, and the study-service
-# scheduler/drain suite.
-check: vet build race race-parallel chaos dataset serve
+# dataset round-trip and merge determinism suite, the study-service
+# scheduler/drain suite, and the trace determinism/attribution/leak
+# suite.
+check: vet build race race-parallel chaos dataset serve trace
 
 build:
 	$(GO) build ./...
@@ -52,12 +53,23 @@ serve:
 	$(GO) test -race -run 'TestScheduler|TestConcurrentJobsMatchSequential|TestDrain|TestHTTPAPIEndToEnd|TestQueueFullSheds429|TestAnalyzeAndMergeJobs|TestPerJobTelemetryIsolation' \
 		-count=1 -timeout 10m ./internal/serve/
 
+# trace pins the causal-trace contracts under the race detector: an
+# aggressive-fault study at parallelism 1 and 8 emits byte-identical
+# trace.bin shards and Chrome exports, passive-phase abandonments are
+# attributed to fault-injection spans, and a full study leaks no spans
+# (trace or telemetry).
+trace:
+	$(GO) test -race -run 'TestTraceDeterminism|TestTraceErrorsAttributesDegradations|TestStudyLeaksNoSpans' \
+		-count=1 -timeout 10m ./internal/core/
+
 # bench measures the full study sequential vs parallel (in-memory and
 # with simulated 5ms connection-setup latency) and writes
 # BENCH_study.json; it then measures fault-subsystem overhead
 # (baseline vs armed-but-empty plan vs mild plan) into
-# BENCH_faults.json, and dataset I/O throughput plus the
-# analyze-from-disk vs resimulate speedup into BENCH_dataset.json.
+# BENCH_faults.json, dataset I/O throughput plus the
+# analyze-from-disk vs resimulate speedup into BENCH_dataset.json,
+# service throughput into BENCH_serve.json, and the always-on tracing
+# overhead (traced vs -no-trace, budget 5%) into BENCH_trace.json.
 bench:
 	$(GO) test ./internal/core/ -run TestEmitStudyBench -count=1 -timeout 30m \
 		-study.benchout=$(CURDIR)/BENCH_study.json
@@ -67,6 +79,8 @@ bench:
 		-dataset.benchout=$(CURDIR)/BENCH_dataset.json
 	$(GO) test ./internal/serve/ -run TestEmitServeBench -count=1 -timeout 30m \
 		-serve.benchout=$(CURDIR)/BENCH_serve.json
+	$(GO) test ./internal/core/ -run TestEmitTraceBench -count=1 -timeout 30m \
+		-trace.benchout=$(CURDIR)/BENCH_trace.json
 
 # bench-telemetry runs the full study through `iotls metrics report`
 # and captures the deterministic telemetry report.
@@ -74,4 +88,5 @@ bench-telemetry:
 	$(GO) run ./cmd/iotls metrics report -o BENCH_telemetry.json > /dev/null
 
 clean:
-	rm -f observations.jsonl
+	rm -f observations.jsonl trace.json
+	rm -rf trace-example-data

@@ -15,6 +15,7 @@
 //	iotls audit              grade every device's TLS offer via the audit service (§6)
 //	iotls guard              boot all devices behind the gateway guard and report blocks (§6)
 //	iotls metrics [PHASE]    run a phase (default: report) and print the JSON telemetry report
+//	iotls trace ...          export or analyze a captured run's trace shard
 //	iotls serve -addr :8443  run the study service: a JSON HTTP API scheduling
 //	                         concurrent study/analyze/merge jobs under one
 //	                         global worker budget (see README "Serving")
@@ -69,9 +70,11 @@ func main() {
 	faultProfile := global.String("fault-profile", "", "fault-injection profile: off, mild, or aggressive")
 	window := global.String("window", "", "passive collection window FROM..TO, e.g. 2018-01..2018-06 (default: the full study)")
 	ioDeadline := global.Duration("io-deadline", 0, "wall-clock safety-net deadline for post-handshake I/O (0 = the 5s default)")
+	noTrace := global.Bool("no-trace", false, "disable the causal trace tree (on by default; capture persists it as trace.bin)")
 	global.Parse(os.Args[1:])
 	studyConfig.Parallelism = *parallel
 	studyConfig.IODeadline = *ioDeadline
+	studyConfig.NoTrace = *noTrace
 	if err := armStudyConfig(*faultSeed, *faultProfile, *window); err != nil {
 		fmt.Fprintln(os.Stderr, "iotls:", err)
 		os.Exit(2)
@@ -120,6 +123,8 @@ func main() {
 		err = runServe(args)
 	case "metrics":
 		err = runMetrics(args)
+	case "trace":
+		err = runTrace(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -172,6 +177,11 @@ commands:
   guard        boot all devices behind the gateway guard and report blocks (§6)
   metrics      run a phase (passive|active|probe|report) and print the
                JSON telemetry report (-o file, -months N)
+  trace        analyze a captured run's trace shard:
+                 export -in DIR [-o FILE]  Chrome trace-event JSON
+                                           (load in Perfetto / chrome://tracing)
+                 slow -in DIR [-top N]     deepest virtual-time paths
+                 errors -in DIR            non-ok subtrees grouped by cause
   serve        run the study service: JSON HTTP API for concurrent
                study/analyze/merge jobs sharing one worker budget
                (-addr :8443, -data DIR, -queue N; SIGTERM drains)
@@ -191,6 +201,8 @@ flags:
                        post-handshake I/O (default 5s; deterministic
                        stalls from the fault plan stay the primary
                        failure signal)
+  -no-trace            disable the causal trace tree (normally on;
+                       capture persists it as trace.bin)
   -debug-addr ADDR     serve the live inspector (expvar at /debug/vars,
                        pprof at /debug/pprof/) on ADDR while running
 

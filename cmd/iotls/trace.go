@@ -1,0 +1,58 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/trace"
+)
+
+// runTrace dispatches the trace subcommands: offline analysis of the
+// trace.bin shard a capture run persisted.
+//
+//	iotls trace export -in DIR [-o FILE]   Chrome trace-event JSON
+//	iotls trace slow -in DIR [-top N]      deepest virtual-time paths
+//	iotls trace errors -in DIR             non-ok subtrees by cause
+func runTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: iotls trace <export|slow|errors> -in DIR")
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("trace "+verb, flag.ExitOnError)
+	in := fs.String("in", "", "dataset directory holding the trace shard (required)")
+	out := fs.String("o", "", "output file (default: stdout)")
+	top := fs.Int("top", 10, "number of paths to show (slow)")
+	fs.Parse(rest)
+	if *in == "" {
+		return fmt.Errorf("trace %s: -in DIR is required", verb)
+	}
+	ds, err := dataset.Read(*in, nil)
+	if err != nil {
+		return err
+	}
+	if len(ds.TraceSpans) == 0 {
+		return fmt.Errorf("trace %s: dataset %s holds no trace spans (captured with -no-trace, or a version-1 dataset)", verb, *in)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch verb {
+	case "export":
+		return trace.ExportChrome(w, ds.TraceSpans)
+	case "slow":
+		return trace.WriteSlowReport(w, trace.SlowPaths(ds.TraceSpans, *top))
+	case "errors":
+		return trace.WriteErrorReport(w, trace.ErrorGroups(ds.TraceSpans))
+	default:
+		return fmt.Errorf("trace: unknown subcommand %q (want export, slow, or errors)", verb)
+	}
+}

@@ -78,8 +78,13 @@ func (s *sniffer) CloseMirror() {
 		return
 	}
 	s.published = true
+	// The publish runs on the goroutine that closed the connection —
+	// the connection attempt's own — so the capture-write span is
+	// deterministically the attempt's last child.
+	wsp := s.meta.Trace.Child("capture_write", s.meta.SrcHost+"->"+s.meta.DstHost)
 	s.obs.Weight = s.collector.takeWeight(s.meta.SrcHost, s.meta.DstHost, s.meta.DstPort)
 	s.collector.Store.Add(s.obs)
+	wsp.End("ok")
 }
 
 // onRecord dissects one reassembled record.

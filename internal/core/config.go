@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/fault"
+	"repro/internal/trace"
 )
 
 // Config describes one study job: everything that influences the
@@ -42,6 +43,11 @@ type Config struct {
 	// netem.DefaultIODeadline. It is a hang backstop, not the failure
 	// signal — deterministic stalls come from the fault plan.
 	IODeadline time.Duration
+
+	// NoTrace disables the causal trace tree. Tracing is on by default
+	// (its spans are seeded off FaultSeed, so traces are deterministic
+	// either way); benchmarks use this to measure a traced-off baseline.
+	NoTrace bool
 }
 
 // faultPlan resolves the config's fault flags into an armed plan, or
@@ -94,6 +100,12 @@ func NewStudyFromConfig(c Config) (*Study, error) {
 	s.PassiveFrom, s.PassiveTo = c.WindowFrom, c.WindowTo
 	if plan != nil {
 		s.SetFaultPlan(plan)
+	}
+	if !c.NoTrace {
+		// The tracer shares the fault seed (zero on clean runs): span
+		// IDs are then a pure function of the config, like every other
+		// artifact.
+		s.SetTracer(trace.New(s.Clock, c.FaultSeed))
 	}
 	if c.IODeadline > 0 {
 		s.Network.SetIODeadline(c.IODeadline)

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // Degradation records one contained incident of a study run.
@@ -57,9 +59,13 @@ func (s *Study) runContained(phase string, fn func() error) (err error) {
 // noteDegraded records one incident and counts it in telemetry.
 func (s *Study) noteDegraded(phase, reason string) {
 	s.Telemetry.Counter("core.degraded." + phase).Inc()
+	d := Degradation{Phase: phase, Reason: reason}
 	s.degradeMu.Lock()
-	s.degradations = append(s.degradations, Degradation{Phase: phase, Reason: reason})
+	s.degradations = append(s.degradations, d)
 	s.degradeMu.Unlock()
+	if s.OnDegraded != nil {
+		s.OnDegraded(d)
+	}
 }
 
 // Degradations returns the incidents recorded so far, in a
@@ -82,7 +88,15 @@ func (s *Study) Degradations() []Degradation {
 // failure and — under an armed fault plan — when devices abandoned
 // connections (retry budgets exhausted) during the phase.
 func (s *Study) phase(name string, fn func() error) {
+	if s.PhaseStart != nil {
+		s.PhaseStart(name)
+	}
+	psp := s.traceStudyRoot().Child("phase", name)
+	s.tracePhase = psp
+	status := "ok"
 	defer func() {
+		s.tracePhase = nil
+		psp.End(status)
 		if s.PhaseDone != nil {
 			s.PhaseDone(name)
 		}
@@ -91,14 +105,19 @@ func (s *Study) phase(name string, fn func() error) {
 		// A drained study skips everything it hasn't started: skipping
 		// degrades the run (the report is partial), which the exit-code
 		// contract and the serve drain path both rely on.
+		status = "skipped"
 		s.noteDegraded(name, "phase skipped: study interrupted (drain)")
 		return
 	}
 	pre := s.Telemetry.Counter("driver.giveups").Value()
 	if err := s.runContained(name, fn); err != nil {
+		status = "error"
 		s.noteDegraded(name, err.Error())
 	}
 	if d := s.Telemetry.Counter("driver.giveups").Value() - pre; d > 0 {
+		if status == "ok" {
+			status = "degraded"
+		}
 		s.noteDegraded(name, fmt.Sprintf("%d connection(s) abandoned after retry exhaustion", d))
 	}
 }
@@ -106,10 +125,13 @@ func (s *Study) phase(name string, fn func() error) {
 // recoverDevice is deferred inside per-device pool workers: it turns a
 // panic while processing one device into a degradation entry plus an
 // empty substitute report (installed by fallback), so one broken device
-// cannot sink a whole suite.
-func (s *Study) recoverDevice(phase, id string, fallback func()) {
+// cannot sink a whole suite. The device's trace span (nil when
+// untraced) is ended "panic" — End is first-wins, so the pool's later
+// "ok" is a no-op.
+func (s *Study) recoverDevice(phase, id string, dsp *trace.Span, fallback func()) {
 	if p := recover(); p != nil {
 		s.noteDegraded(phase, fmt.Sprintf("device %s: %v", id, p))
+		dsp.End("panic")
 		fallback()
 	}
 }

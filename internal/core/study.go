@@ -27,6 +27,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/probe"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -69,8 +70,26 @@ type Study struct {
 	// point; it must not block on study work.
 	PhaseDone func(name string)
 
+	// PhaseStart, when non-nil, is invoked as each RunAll phase begins
+	// — the serve layer's live event stream. Same contract as
+	// PhaseDone: it must not block on study work.
+	PhaseStart func(name string)
+
+	// OnDegraded, when non-nil, observes each degradation as it is
+	// recorded. Called from pool workers too, so it must be
+	// thread-safe and must not block.
+	OnDegraded func(d Degradation)
+
 	workersOnce sync.Once
 	workers     int
+
+	// tracer, when armed, records the study's causal span tree. The
+	// root is created lazily at the first phase; tracePhase holds the
+	// running phase's span (phases are strictly sequential).
+	tracer     *trace.Tracer
+	traceOnce  sync.Once
+	traceRoot  *trace.Span
+	tracePhase *trace.Span
 
 	interrupted atomic.Bool
 
@@ -96,6 +115,24 @@ func (s *Study) Interrupt() { s.interrupted.Store(true) }
 
 // Interrupted reports whether Interrupt has been called.
 func (s *Study) Interrupted() bool { return s.interrupted.Load() }
+
+// SetTracer arms causal tracing: every phase, device batch and
+// connection attempt from here on records spans into t. Arm before
+// running phases; a nil tracer (the default) disables tracing.
+func (s *Study) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// Tracer returns the armed tracer, or nil.
+func (s *Study) Tracer() *trace.Tracer { return s.tracer }
+
+// traceStudyRoot returns the study's root span, creating it on first
+// use. Nil when tracing is off.
+func (s *Study) traceStudyRoot() *trace.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	s.traceOnce.Do(func() { s.traceRoot = s.tracer.Root("study", "") })
+	return s.traceRoot
+}
 
 // SetFaultPlan arms deterministic fault injection across the testbed:
 // the network consults the plan on every dial, and the driver's
@@ -185,6 +222,7 @@ func (s *Study) RunPassiveWindow(from, to clock.Month) (*traffic.Stats, error) {
 	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
 	gen.Parallelism = s.Workers()
 	gen.Stop = s.Interrupted
+	gen.Trace = s.tracePhase
 	stats, err := gen.Run(from, to)
 	sp.EndErr(err)
 	return stats, err
@@ -216,9 +254,11 @@ func (s *Study) CaptureActiveSnapshot() (*capture.Store, error) {
 	// Each device's boot sequence base is fixed by its registry index,
 	// so its hello randoms are identical at any parallelism.
 	devs := s.Registry.ActiveDevices()
-	pool.Run(s.Workers(), len(devs), func(_, i int) {
-		driver.Boot(s.Network, devs[i], device.ActiveSnapshot, uint64(i)*100000)
-	})
+	pool.RunSpans(s.Workers(), len(devs), s.tracePhase, "device",
+		func(i int) string { return devs[i].ID },
+		func(_, i int, dsp *trace.Span) {
+			driver.BootTraced(s.Network, devs[i], device.ActiveSnapshot, uint64(i)*100000, dsp)
+		})
 	if err := col.WaitIdlePatient(10*time.Second, 2); err != nil {
 		sp.End("lagging")
 		return store, fmt.Errorf("core: active capture lagging (%d observations stored): %w", store.Len(), err)
@@ -234,12 +274,14 @@ func (s *Study) RunInterceptionSuite() []*mitm.InterceptionReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.InterceptionReport, len(devs))
-	pool.Run(s.Workers(), len(devs), func(_, i int) {
-		defer s.recoverDevice("interception", devs[i].ID, func() {
-			out[i] = &mitm.InterceptionReport{Device: devs[i].ID}
+	pool.RunSpans(s.Workers(), len(devs), s.tracePhase, "device",
+		func(i int) string { return devs[i].ID },
+		func(_, i int, dsp *trace.Span) {
+			defer s.recoverDevice("interception", devs[i].ID, dsp, func() {
+				out[i] = &mitm.InterceptionReport{Device: devs[i].ID}
+			})
+			out[i] = s.Proxy.RunInterceptionTraced(devs[i], dsp)
 		})
-		out[i] = s.Proxy.RunInterception(devs[i])
-	})
 	return out
 }
 
@@ -251,12 +293,14 @@ func (s *Study) RunDowngradeSuite() []*mitm.DowngradeReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.DowngradeReport, len(devs))
-	pool.Run(s.Workers(), len(devs), func(_, i int) {
-		defer s.recoverDevice("downgrade", devs[i].ID, func() {
-			out[i] = &mitm.DowngradeReport{Device: devs[i].ID}
+	pool.RunSpans(s.Workers(), len(devs), s.tracePhase, "device",
+		func(i int) string { return devs[i].ID },
+		func(_, i int, dsp *trace.Span) {
+			defer s.recoverDevice("downgrade", devs[i].ID, dsp, func() {
+				out[i] = &mitm.DowngradeReport{Device: devs[i].ID}
+			})
+			out[i] = s.Proxy.RunDowngradeTraced(devs[i], dsp)
 		})
-		out[i] = s.Proxy.RunDowngrade(devs[i])
-	})
 	return out
 }
 
@@ -271,10 +315,12 @@ func (s *Study) RunOldVersionSuite() []*mitm.OldVersionReport {
 	var out []*mitm.OldVersionReport
 	for _, dev := range s.Registry.ActiveDevices() {
 		func() {
-			defer s.recoverDevice("old_version", dev.ID, func() {
+			dsp := s.tracePhase.Child("device", dev.ID)
+			defer dsp.End("ok")
+			defer s.recoverDevice("old_version", dev.ID, dsp, func() {
 				out = append(out, &mitm.OldVersionReport{Device: dev.ID})
 			})
-			out = append(out, mitm.RunOldVersionCheck(s.Network, s.Cloud, dev))
+			out = append(out, mitm.RunOldVersionCheckTraced(s.Network, s.Cloud, dev, dsp))
 		}()
 	}
 	return out
@@ -288,12 +334,14 @@ func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.PassthroughReport, len(devs))
-	pool.Run(s.Workers(), len(devs), func(_, i int) {
-		defer s.recoverDevice("passthrough", devs[i].ID, func() {
-			out[i] = &mitm.PassthroughReport{Device: devs[i].ID}
+	pool.RunSpans(s.Workers(), len(devs), s.tracePhase, "device",
+		func(i int) string { return devs[i].ID },
+		func(_, i int, dsp *trace.Span) {
+			defer s.recoverDevice("passthrough", devs[i].ID, dsp, func() {
+				out[i] = &mitm.PassthroughReport{Device: devs[i].ID}
+			})
+			out[i] = s.Proxy.RunPassthroughTraced(devs[i], dsp)
 		})
-		out[i] = s.Proxy.RunPassthrough(devs[i])
-	})
 	return out
 }
 
@@ -303,6 +351,7 @@ func (s *Study) RunProbe() (amenable []*probe.Report, candidates int, err error)
 	s.advanceToActiveWindow()
 	sp := s.phaseSpan("probe")
 	s.Prober.Parallelism = s.Workers()
+	s.Prober.Trace = s.tracePhase
 	amenable, candidates, err = s.Prober.ExploreAll()
 	sp.EndErr(err)
 	return amenable, candidates, err
@@ -352,6 +401,13 @@ type Report struct {
 func (s *Study) RunAll() (*Report, error) {
 	sp := s.phaseSpan("all")
 	defer func() { sp.End("done") }()
+	defer func() {
+		status := "ok"
+		if len(s.Degradations()) > 0 {
+			status = "degraded"
+		}
+		s.traceStudyRoot().End(status)
+	}()
 	rep := &Report{}
 	nameOf := s.NameOf
 

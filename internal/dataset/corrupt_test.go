@@ -28,8 +28,8 @@ func writeSample(t *testing.T, gz bool) (string, []string) {
 			shards = append(shards, e.Name())
 		}
 	}
-	if len(shards) < 4 {
-		t.Fatalf("sample dataset has %d shards, want at least 4", len(shards))
+	if len(shards) < 5 {
+		t.Fatalf("sample dataset has %d shards, want at least 5 (incl. trace.bin)", len(shards))
 	}
 	return dir, shards
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/mitm"
 	"repro/internal/probe"
 	"repro/internal/rootstore"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 	"repro/internal/wire"
 )
@@ -58,13 +59,18 @@ type Dataset struct {
 	Interceptions []*mitm.InterceptionReport
 	Passthroughs  []*mitm.PassthroughReport
 	Degradations  []core.Degradation
+
+	// TraceSpans is the run's causal span tree in canonical (DFS)
+	// order. Analysis never consumes it; the trace CLI verbs do.
+	TraceSpans []trace.SpanRecord
 }
 
 // Len reports the total record count across all sections.
 func (ds *Dataset) Len() int {
 	return len(ds.Observations) + len(ds.Revocations) + len(ds.ActiveObservations) +
 		len(ds.ProbeReports) + len(ds.Downgrades) + len(ds.OldVersions) +
-		len(ds.Interceptions) + len(ds.Passthroughs) + len(ds.Degradations)
+		len(ds.Interceptions) + len(ds.Passthroughs) + len(ds.Degradations) +
+		len(ds.TraceSpans)
 }
 
 // FromStudy snapshots a completed study run into a Dataset. The report
@@ -127,6 +133,9 @@ func FromStudy(s *core.Study, rep *core.Report) *Dataset {
 	}
 	for _, pr := range rep.ProbeReports {
 		ds.ProbeReports = append(ds.ProbeReports, toProbeRecord(pr))
+	}
+	if t := s.Tracer(); t != nil {
+		ds.TraceSpans = t.Spans()
 	}
 	return ds
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -16,16 +17,18 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/mitm"
 	"repro/internal/probe"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 	"repro/internal/wire"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_v1 from the sample dataset")
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_v2 from the sample dataset")
 
-// sampleDataset builds a small fixed dataset that exercises every
-// record kind and optional field: the golden fixture is generated from
-// it, and the corruption tests mutate its on-disk form.
-func sampleDataset() *dataset.Dataset {
+// sampleDatasetV1 builds a small fixed dataset exercising every record
+// kind the version-1 format had. It must stay frozen: the checked-in
+// golden_v1 fixture was generated from it, and the read-compat test
+// decodes that fixture against it.
+func sampleDatasetV1() *dataset.Dataset {
 	at := func(month clock.Month, day int) time.Time {
 		return month.Start().Add(time.Duration(day) * 24 * time.Hour)
 	}
@@ -116,7 +119,24 @@ func sampleDataset() *dataset.Dataset {
 	}
 }
 
-// TestGoldenFixture guards the v1 schema against drift in both
+// sampleDataset is the full current-format sample: the v1 records plus
+// a small causal span tree in canonical (DFS) order. The golden_v2
+// fixture is generated from it, and the corruption tests mutate its
+// on-disk form (which gives the trace shard bit-flip coverage too).
+func sampleDataset() *dataset.Dataset {
+	ds := sampleDatasetV1()
+	at := func(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+	ds.TraceSpans = []trace.SpanRecord{
+		{ID: 0x11, Parent: 0, Ordinal: 0, Name: "study", Status: "degraded", Start: at(100), End: at(200)},
+		{ID: 0x22, Parent: 0x11, Ordinal: 0, Name: "phase", Detail: "passive", Status: "ok", Start: at(100), End: at(150)},
+		{ID: 0x33, Parent: 0x22, Ordinal: 0, Name: "connect", Detail: "cloud.example", Status: "gave_up", Start: at(101), End: at(110)},
+		{ID: 0x44, Parent: 0x33, Ordinal: 0, Name: "fault", Detail: "dial_fail", Status: "injected", Start: at(101), End: at(101)},
+		{ID: 0x55, Parent: 0x11, Ordinal: 1, Name: "phase", Detail: "probe", Status: "ok", Start: at(150), End: at(200)},
+	}
+	return ds
+}
+
+// TestGoldenFixture guards the current schema against drift in both
 // directions: encoding the sample dataset must reproduce the
 // checked-in fixture byte for byte, and decoding the fixture must
 // yield the sample dataset exactly. Any change to the wire format
@@ -124,7 +144,7 @@ func sampleDataset() *dataset.Dataset {
 // regenerated with -update-golden.
 func TestGoldenFixture(t *testing.T) {
 	t.Parallel()
-	golden := filepath.Join("testdata", "golden_v1")
+	golden := filepath.Join("testdata", "golden_v2")
 	if *updateGolden {
 		if err := os.RemoveAll(golden); err != nil {
 			t.Fatal(err)
@@ -161,7 +181,7 @@ func TestGoldenFixture(t *testing.T) {
 			t.Fatalf("fresh write is missing %s: %v", e.Name(), err)
 		}
 		if string(wantRaw) != string(gotRaw) {
-			t.Errorf("%s: encoder output drifted from the v1 fixture", e.Name())
+			t.Errorf("%s: encoder output drifted from the fixture", e.Name())
 		}
 	}
 
@@ -186,13 +206,16 @@ func TestGoldenFixture(t *testing.T) {
 			t.Fatalf("re-encode is missing %s: %v", e.Name(), err)
 		}
 		if string(wantRaw) != string(gotRaw) {
-			t.Errorf("%s: decode∘encode is not the identity on the v1 fixture", e.Name())
+			t.Errorf("%s: decode∘encode is not the identity on the fixture", e.Name())
 		}
 	}
 	want2 := sampleDataset()
 	if len(ds.Observations) != len(want2.Observations) || len(ds.Revocations) != len(want2.Revocations) ||
 		len(ds.ActiveObservations) != len(want2.ActiveObservations) || len(ds.ProbeReports) != len(want2.ProbeReports) {
 		t.Fatalf("decoded fixture has wrong shape: %+v", ds)
+	}
+	if !reflect.DeepEqual(ds.TraceSpans, want2.TraceSpans) {
+		t.Errorf("decoded trace spans differ:\n got: %+v\nwant: %+v", ds.TraceSpans, want2.TraceSpans)
 	}
 	o, wantO := ds.Observations[0], want2.Observations[0]
 	if o.Device != wantO.Device || !o.Time.Equal(wantO.Time) || o.Month != wantO.Month ||
@@ -202,5 +225,57 @@ func TestGoldenFixture(t *testing.T) {
 	}
 	if ds.Runs[0].Fingerprint() != want2.Runs[0].Fingerprint() {
 		t.Errorf("decoded run provenance differs: %+v", ds.Runs[0])
+	}
+}
+
+// TestGoldenV1ReadCompat pins the manifest version bump round trip: a
+// checked-in version-1 dataset (no trace shard) still reads, decodes to
+// the frozen v1 sample, and re-encodes to byte-identical shard files
+// under a version-2 manifest.
+func TestGoldenV1ReadCompat(t *testing.T) {
+	t.Parallel()
+	golden := filepath.Join("testdata", "golden_v1")
+	ds, err := dataset.Read(golden, nil)
+	if err != nil {
+		t.Fatalf("Read v1 fixture: %v", err)
+	}
+	if len(ds.TraceSpans) != 0 {
+		t.Errorf("v1 fixture decoded %d trace spans, want 0", len(ds.TraceSpans))
+	}
+	want := sampleDatasetV1()
+	if len(ds.Observations) != len(want.Observations) || len(ds.Revocations) != len(want.Revocations) ||
+		len(ds.ProbeReports) != len(want.ProbeReports) || len(ds.Degradations) != len(want.Degradations) {
+		t.Fatalf("decoded v1 fixture has wrong shape: %+v", ds)
+	}
+	if ds.Runs[0].Fingerprint() != want.Runs[0].Fingerprint() {
+		t.Errorf("decoded v1 run provenance differs: %+v", ds.Runs[0])
+	}
+
+	reenc := filepath.Join(t.TempDir(), "reenc")
+	if err := dataset.Write(reenc, ds, dataset.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		wantRaw, err := os.ReadFile(filepath.Join(golden, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRaw, err := os.ReadFile(filepath.Join(reenc, e.Name()))
+		if err != nil {
+			t.Fatalf("re-encode is missing %s: %v", e.Name(), err)
+		}
+		if e.Name() == dataset.ManifestName {
+			if !strings.Contains(string(gotRaw), `"version": 2`) {
+				t.Errorf("re-encoded manifest is not version 2:\n%s", gotRaw)
+			}
+			continue
+		}
+		if string(wantRaw) != string(gotRaw) {
+			t.Errorf("%s: v1 shard bytes changed across the version bump", e.Name())
+		}
 	}
 }

@@ -16,10 +16,14 @@ import (
 )
 
 // Schema identifies the on-disk format; Version is bumped on any
-// incompatible encoding change. Readers reject both mismatches.
+// encoding change. Readers reject schema mismatches and versions newer
+// than they understand; older versions back to MinVersion are read
+// compatibly (version 2 added the trace shard, which version-1
+// datasets simply lack).
 const (
-	Schema  = "iotls.dataset/v1"
-	Version = 1
+	Schema     = "iotls.dataset/v1"
+	Version    = 2
+	MinVersion = 1
 )
 
 // ManifestName is the dataset's index file.
@@ -30,6 +34,7 @@ const (
 	KindPassive = "passive" // one shard per study month
 	KindActive  = "active"  // the 2021 active-snapshot captures
 	KindAux     = "aux"     // suite reports, probe results, degradations
+	KindTrace   = "trace"   // causal trace spans (since format version 2)
 )
 
 // Run is the provenance of one capture run. Its identity — everything
@@ -99,7 +104,7 @@ type Manifest struct {
 }
 
 // sortShards orders the shard catalog canonically: passive months
-// first (ascending), then active, then aux.
+// first (ascending), then active, then aux, then trace.
 func sortShards(shards []ShardInfo) {
 	rank := func(s ShardInfo) int {
 		switch s.Kind {
@@ -107,8 +112,10 @@ func sortShards(shards []ShardInfo) {
 			return 0
 		case KindActive:
 			return 1
-		default:
+		case KindAux:
 			return 2
+		default:
+			return 3
 		}
 	}
 	sort.Slice(shards, func(i, j int) bool {
@@ -157,9 +164,9 @@ func readManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(raw, m); err != nil {
 		return nil, corruptf("parse manifest in %s: %v", dir, err)
 	}
-	if m.Schema != Schema || m.Version != Version {
-		return nil, fmt.Errorf("dataset: %s: unsupported schema %q version %d (want %q version %d)",
-			dir, m.Schema, m.Version, Schema, Version)
+	if m.Schema != Schema || m.Version < MinVersion || m.Version > Version {
+		return nil, fmt.Errorf("dataset: %s: unsupported schema %q version %d (want %q version %d..%d)",
+			dir, m.Schema, m.Version, Schema, MinVersion, Version)
 	}
 	seen := make(map[string]bool, len(m.Shards))
 	for _, sh := range m.Shards {
@@ -175,7 +182,7 @@ func readManifest(dir string) (*Manifest, error) {
 			if _, err := parseMonth(sh.Month); err != nil {
 				return nil, corruptf("manifest in %s: shard %q: %v", dir, sh.File, err)
 			}
-		case KindActive, KindAux:
+		case KindActive, KindAux, KindTrace:
 		default:
 			return nil, corruptf("manifest in %s: shard %q has unknown kind %q", dir, sh.File, sh.Kind)
 		}

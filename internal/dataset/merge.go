@@ -103,6 +103,7 @@ func Union(sets ...*Dataset) (*Dataset, error) {
 		out.Interceptions = append(out.Interceptions, ds.Interceptions...)
 		out.Passthroughs = append(out.Passthroughs, ds.Passthroughs...)
 		out.Degradations = append(out.Degradations, ds.Degradations...)
+		out.TraceSpans = append(out.TraceSpans, ds.TraceSpans...)
 	}
 	return out, nil
 }

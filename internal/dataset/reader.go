@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mitm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // scanShard streams one shard file record by record, verifying the
@@ -132,6 +133,7 @@ func (ds *Dataset) decodeInto(sh ShardInfo, payload []byte) error {
 		KindPassive: {recObservation, recRevocation},
 		KindActive:  {recActiveObservation},
 		KindAux:     {recProbeReport, recDowngrade, recOldVersion, recInterception, recPassthrough, recDegradation},
+		KindTrace:   {recTraceSpan},
 	}[sh.Kind]
 	ok := false
 	for _, k := range allowed {
@@ -195,6 +197,11 @@ func (ds *Dataset) decodeInto(sh ShardInfo, payload []byte) error {
 		var d core.Degradation
 		if d, err = decodeDegradation(body); err == nil {
 			ds.Degradations = append(ds.Degradations, d)
+		}
+	case recTraceSpan:
+		var r trace.SpanRecord
+		if r, err = decodeTraceSpan(body); err == nil {
+			ds.TraceSpans = append(ds.TraceSpans, r)
 		}
 	default:
 		return corruptf("shard %s: unknown record kind %d", sh.File, kind)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/mitm"
 	"repro/internal/probe"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -25,6 +26,7 @@ const (
 	recInterception      byte = 7 // aux shard
 	recPassthrough       byte = 8 // aux shard
 	recDegradation       byte = 9 // aux shard
+	recTraceSpan         byte = 10 // trace shard (format version 2)
 )
 
 // Observation flag bits.
@@ -430,4 +432,31 @@ func decodeDegradation(d *dec) (core.Degradation, error) {
 	g.Phase = d.str()
 	g.Reason = d.str()
 	return g, d.finish()
+}
+
+func encodeTraceSpan(r trace.SpanRecord) []byte {
+	e := &enc{}
+	e.u8(recTraceSpan)
+	e.u64(r.ID)
+	e.u64(r.Parent)
+	e.u64(r.Ordinal)
+	e.str(r.Name)
+	e.str(r.Detail)
+	e.str(r.Status)
+	e.i64(r.Start.UnixNano())
+	e.i64(r.End.UnixNano())
+	return e.b
+}
+
+func decodeTraceSpan(d *dec) (trace.SpanRecord, error) {
+	r := trace.SpanRecord{}
+	r.ID = d.u64()
+	r.Parent = d.u64()
+	r.Ordinal = d.u64()
+	r.Name = d.str()
+	r.Detail = d.str()
+	r.Status = d.str()
+	r.Start = time.Unix(0, d.i64()).UTC()
+	r.End = time.Unix(0, d.i64()).UTC()
+	return r, d.finish()
 }

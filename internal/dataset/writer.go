@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mitm"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Options configure dataset I/O.
@@ -79,6 +80,8 @@ func (w *Writer) shard(kind string, month clock.Month) (*shardWriter, error) {
 		name = "passive-" + month.String() + ".bin"
 	case KindActive:
 		name = "active.bin"
+	case KindTrace:
+		name = "trace.bin"
 	default:
 		name = "aux.bin"
 	}
@@ -179,6 +182,13 @@ func (w *Writer) Degradation(d core.Degradation) error {
 	return w.write(KindAux, clock.Month{}, encodeDegradation(d))
 }
 
+// TraceSpan streams one causal trace span. Spans must be fed in
+// canonical (DFS) order for deterministic output; trace.Canonical
+// establishes it.
+func (w *Writer) TraceSpan(r trace.SpanRecord) error {
+	return w.write(KindTrace, clock.Month{}, encodeTraceSpan(r))
+}
+
 // Close flushes every shard and writes the manifest. The Writer is
 // unusable afterwards.
 func (w *Writer) Close() error {
@@ -269,6 +279,11 @@ func Write(dir string, ds *Dataset, opts Options) (err error) {
 	}
 	for _, d := range ds.Degradations {
 		if err := w.Degradation(d); err != nil {
+			return err
+		}
+	}
+	for _, r := range ds.TraceSpans {
+		if err := w.TraceSpan(r); err != nil {
 			return err
 		}
 	}

@@ -9,6 +9,7 @@ package driver
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netem"
 	"repro/internal/tlssim"
+	"repro/internal/trace"
 )
 
 // Outcome describes one connection attempt (including any fallback
@@ -58,16 +60,27 @@ type Outcome struct {
 // Connect dials one destination as dev would in month m, honouring
 // fallback behaviour. seq seeds the hello randoms.
 func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m clock.Month, seq uint64) Outcome {
+	return ConnectTraced(nw, dev, dst, m, seq, nil)
+}
+
+// ConnectTraced is Connect recording the attempt as a "connect" child
+// span of parent (nil parent disables tracing): retries, fallbacks,
+// injected faults, chain verification and the capture write all become
+// children of the attempt span, and the span's status is the final
+// outcome.
+func ConnectTraced(nw *netem.Network, dev *device.Device, dst device.Destination, m clock.Month, seq uint64, parent *trace.Span) Outcome {
 	out := Outcome{Device: dev.ID, Host: dst.Host, Port: 443, Month: m}
 	tel := nw.Telemetry()
 	tel.Counter("driver.connects").Inc()
+	sp := parent.Child("connect", dst.Host)
 
 	cfg := dev.ConfigAt(dst.Slot, m)
 	cfg.AuxDialer = nw.Dial
 	cfg.SrcHost = dev.ID
 	cfg.Telemetry = tel
+	cfg.Trace = sp
 
-	sess, err := dialAndHandshake(nw, dev, dst, cfg, seq)
+	sess, err := dialAndHandshake(nw, dev, dst, cfg, seq, sp)
 
 	// Under an armed fault plan, transient failures engage the device's
 	// retry policy. The gate on FaultPlan keeps clean-network runs on
@@ -84,11 +97,15 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 			}
 			out.Retries++
 			tel.Counter("driver.retries").Inc()
-			sess, err = dialAndHandshake(nw, dev, dst, cfg, seq+uint64(attempt)*7919)
+			rsp := sp.Child("retry", fmt.Sprintf("attempt %d", attempt))
+			cfg.Trace = rsp
+			sess, err = dialAndHandshake(nw, dev, dst, cfg, seq+uint64(attempt)*7919, rsp)
+			rsp.End(failStatus(err))
 			if err == nil {
 				tel.Counter("driver.retries.established").Inc()
 			}
 		}
+		cfg.Trace = sp
 		if err != nil && retryable(err) {
 			out.GaveUp = true
 			tel.Counter("driver.giveups").Inc()
@@ -97,6 +114,7 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 
 	if err == nil {
 		finish(nw, &out, sess, dev, dst)
+		sp.End("ok")
 		return out
 	}
 	out.Err = err
@@ -106,6 +124,7 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 	fb := dev.Slots[dst.Slot].Fallback
 	fbCfg := dev.FallbackConfigAt(dst.Slot)
 	if fb == nil || fbCfg == nil || !shouldFallback(fb, err) {
+		sp.End(connectStatus(&out, err))
 		return out
 	}
 	out.UsedFallback = true
@@ -113,16 +132,49 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 	fbCfg.AuxDialer = nw.Dial
 	fbCfg.SrcHost = dev.ID
 	fbCfg.Telemetry = tel
-	sess, err = dialAndHandshake(nw, dev, dst, fbCfg, seq+1)
+	fsp := sp.Child("fallback", "downgraded config")
+	fbCfg.Trace = fsp
+	sess, err = dialAndHandshake(nw, dev, dst, fbCfg, seq+1, fsp)
+	fsp.End(failStatus(err))
 	if err != nil {
 		out.Err = err
+		sp.End(connectStatus(&out, err))
 		return out
 	}
 	out.FallbackEstablished = true
 	out.Err = nil
 	tel.Counter("driver.fallbacks.established").Inc()
 	finish(nw, &out, sess, dev, dst)
+	sp.End("ok")
 	return out
+}
+
+// failStatus classifies a handshake result as a trace-span status.
+func failStatus(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if errors.Is(err, fault.ErrInjected) {
+		return "fault_injected"
+	}
+	var he *tlssim.HandshakeError
+	if errors.As(err, &he) {
+		if he.Alert != nil {
+			return "alert:" + he.Alert.Description.String()
+		}
+		return he.Class.String()
+	}
+	return "error"
+}
+
+// connectStatus classifies the overall attempt: a retry-budget
+// exhaustion reads "gave_up" whatever the final error looked like, so
+// traces attribute degradations directly.
+func connectStatus(out *Outcome, err error) string {
+	if out.GaveUp {
+		return "gave_up"
+	}
+	return failStatus(err)
 }
 
 // Boot power-cycles the device: resets per-instance state and dials
@@ -132,25 +184,33 @@ func Connect(nw *netem.Network, dev *device.Device, dst device.Destination, m cl
 // TrafficPassthrough finding (§4.2: ≈20.4% additional hostnames once
 // previously-intercepted connections are allowed through).
 func Boot(nw *netem.Network, dev *device.Device, m clock.Month, seq uint64) []Outcome {
+	return BootTraced(nw, dev, m, seq, nil)
+}
+
+// BootTraced is Boot with every boot connection traced as a child of
+// parent (usually the device's span for the active phase).
+func BootTraced(nw *netem.Network, dev *device.Device, m clock.Month, seq uint64, parent *trace.Span) []Outcome {
 	nw.Telemetry().Counter("driver.boots").Inc()
 	for i := range dev.Slots {
 		dev.ConfigAt(i, m).ResetState()
 	}
 	var outs []Outcome
 	for i, dst := range dev.BootDestinations() {
-		outs = append(outs, Connect(nw, dev, dst, m, seq+uint64(i)*101))
+		outs = append(outs, ConnectTraced(nw, dev, dst, m, seq+uint64(i)*101, parent))
 	}
 	if len(outs) > 0 && outs[0].Established {
 		for i, dst := range dev.AfterLoginDestinations() {
-			outs = append(outs, Connect(nw, dev, dst, m, seq+9000+uint64(i)*101))
+			outs = append(outs, ConnectTraced(nw, dev, dst, m, seq+9000+uint64(i)*101, parent))
 		}
 	}
 	return outs
 }
 
-// dialAndHandshake opens the transport and runs the TLS client.
-func dialAndHandshake(nw *netem.Network, dev *device.Device, dst device.Destination, cfg *tlssim.ClientConfig, seq uint64) (*tlssim.Session, error) {
-	conn, err := nw.Dial(dev.ID, dst.Host, 443)
+// dialAndHandshake opens the transport and runs the TLS client. sp is
+// the attempt's trace span (nil untraced); the gateway hangs fault
+// spans off it and the sniffer its capture-write span.
+func dialAndHandshake(nw *netem.Network, dev *device.Device, dst device.Destination, cfg *tlssim.ClientConfig, seq uint64, sp *trace.Span) (*tlssim.Session, error) {
+	conn, err := nw.DialTraced(dev.ID, dst.Host, 443, sp)
 	if err != nil {
 		return nil, err
 	}

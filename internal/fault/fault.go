@@ -163,6 +163,21 @@ type Decision struct {
 	Rand uint64
 }
 
+// TraceDetails renders the decision's effects as fault-span details for
+// the causal trace: one entry per injected effect, latency first (it
+// lands before the connection-level fault does). Empty for a clean
+// decision.
+func (d Decision) TraceDetails() []string {
+	var out []string
+	if d.Delay > 0 {
+		out = append(out, "latency")
+	}
+	if d.Kind != KindNone {
+		out = append(out, d.Kind.String())
+	}
+	return out
+}
+
 // Plan is a seeded fault schedule. It is safe for concurrent use; its
 // decisions and counters are identical at any worker count as long as
 // each (src, dst) key's dials happen in a fixed order, which the study

@@ -10,6 +10,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/driver"
 	"repro/internal/netem"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -101,6 +102,12 @@ func interceptionTargets(dev *device.Device) []device.Destination {
 // RunInterception executes the three Table 2 attacks against every
 // destination of the device and reports the Table 7 evidence.
 func (p *Proxy) RunInterception(dev *device.Device) *InterceptionReport {
+	return p.RunInterceptionTraced(dev, nil)
+}
+
+// RunInterceptionTraced is RunInterception with every connection traced
+// under the device's span sp.
+func (p *Proxy) RunInterceptionTraced(dev *device.Device, sp *trace.Span) *InterceptionReport {
 	report := &InterceptionReport{
 		Device:    dev.ID,
 		PerAttack: make(map[Attack][]HostResult),
@@ -109,7 +116,7 @@ func (p *Proxy) RunInterception(dev *device.Device) *InterceptionReport {
 	report.TotalHosts = len(targets)
 	for _, attack := range []Attack{AttackNoValidation, AttackInvalidBasicConstraints, AttackWrongHostname} {
 		for _, dst := range targets {
-			report.PerAttack[attack] = append(report.PerAttack[attack], p.attackHost(dev, dst, attack))
+			report.PerAttack[attack] = append(report.PerAttack[attack], p.attackHost(dev, dst, attack, sp))
 		}
 	}
 	return report
@@ -117,7 +124,7 @@ func (p *Proxy) RunInterception(dev *device.Device) *InterceptionReport {
 
 // attackHost runs one attack against one destination, rebooting the
 // device first and allowing repeated attempts within the session.
-func (p *Proxy) attackHost(dev *device.Device, dst device.Destination, attack Attack) HostResult {
+func (p *Proxy) attackHost(dev *device.Device, dst device.Destination, attack Attack, sp *trace.Span) HostResult {
 	h := p.intercept(attack, dev.ID, dst.Host, nil)
 	defer h.stop()
 
@@ -128,7 +135,7 @@ func (p *Proxy) attackHost(dev *device.Device, dst device.Destination, attack At
 
 	res := HostResult{Host: dst.Host}
 	for attempt := 0; attempt < InterceptionAttempts; attempt++ {
-		driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, uint64(attempt)+1)
+		driver.ConnectTraced(p.nw, dev, dst, device.ActiveSnapshot, uint64(attempt)+1, sp)
 		for _, rec := range h.drain() {
 			if rec.ClientAlert != nil {
 				res.ClientAlert = rec.ClientAlert
@@ -152,7 +159,7 @@ func (p *Proxy) attackHost(dev *device.Device, dst device.Destination, attack At
 // passthrough control to re-test newly discovered hosts for validation
 // failures (§4.2's negative result).
 func (p *Proxy) AttackOne(dev *device.Device, dst device.Destination, attack Attack) HostResult {
-	return p.attackHost(dev, dst, attack)
+	return p.attackHost(dev, dst, attack, nil)
 }
 
 // DowngradeReport records the Table 5 evidence for one device.
@@ -175,6 +182,12 @@ func (r *DowngradeReport) Downgraded() bool { return r.DowngradedHosts > 0 }
 // RunDowngrade probes each boot destination with both failure triggers
 // and inspects whether the retry ClientHello is weaker (Table 5).
 func (p *Proxy) RunDowngrade(dev *device.Device) *DowngradeReport {
+	return p.RunDowngradeTraced(dev, nil)
+}
+
+// RunDowngradeTraced is RunDowngrade with every connection traced under
+// the device's span sp.
+func (p *Proxy) RunDowngradeTraced(dev *device.Device, sp *trace.Span) *DowngradeReport {
 	report := &DowngradeReport{Device: dev.ID}
 	boot := dev.BootDestinations()
 	report.TotalHosts = len(boot)
@@ -186,7 +199,7 @@ func (p *Proxy) RunDowngrade(dev *device.Device) *DowngradeReport {
 			for i := range dev.Slots {
 				dev.ConfigAt(i, device.ActiveSnapshot).ResetState()
 			}
-			driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, 1)
+			driver.ConnectTraced(p.nw, dev, dst, device.ActiveSnapshot, 1, sp)
 			recs := h.drain()
 			h.stop()
 			if len(recs) < 2 {
@@ -270,6 +283,12 @@ type VersionForcer interface {
 // TLS 1.0 and 1.1 in turn and records whether any connection
 // establishes (Table 6).
 func RunOldVersionCheck(nw *netem.Network, forcer VersionForcer, dev *device.Device) *OldVersionReport {
+	return RunOldVersionCheckTraced(nw, forcer, dev, nil)
+}
+
+// RunOldVersionCheckTraced is RunOldVersionCheck with every connection
+// traced under the device's span sp.
+func RunOldVersionCheckTraced(nw *netem.Network, forcer VersionForcer, dev *device.Device, sp *trace.Span) *OldVersionReport {
 	report := &OldVersionReport{Device: dev.ID}
 	check := func(v ciphers.Version) bool {
 		for _, dst := range dev.BootDestinations() {
@@ -279,7 +298,7 @@ func RunOldVersionCheck(nw *netem.Network, forcer VersionForcer, dev *device.Dev
 			for i := range dev.Slots {
 				dev.ConfigAt(i, device.ActiveSnapshot).ResetState()
 			}
-			out := driver.Connect(nw, dev, dst, device.ActiveSnapshot, uint64(v))
+			out := driver.ConnectTraced(nw, dev, dst, device.ActiveSnapshot, uint64(v), sp)
 			forcer.SetForceVersion(dst.Host, 0)
 			if out.Established && out.Version == v {
 				return true
@@ -298,12 +317,18 @@ func RunOldVersionCheck(nw *netem.Network, forcer VersionForcer, dev *device.Dev
 // the client's alert distinguishes "unknown CA" from "known CA, bad
 // signature".
 func (p *Proxy) ProbeOnce(dev *device.Device, dst device.Destination, target *certs.Certificate) ConnRecord {
+	return p.ProbeOnceTraced(dev, dst, target, nil)
+}
+
+// ProbeOnceTraced is ProbeOnce with the connection traced under the
+// device's span sp.
+func (p *Proxy) ProbeOnceTraced(dev *device.Device, dst device.Destination, target *certs.Certificate, sp *trace.Span) ConnRecord {
 	h := p.intercept(AttackSpoofedCA, dev.ID, dst.Host, target)
 	defer h.stop()
 	for i := range dev.Slots {
 		dev.ConfigAt(i, device.ActiveSnapshot).ResetState()
 	}
-	driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, 1)
+	driver.ConnectTraced(p.nw, dev, dst, device.ActiveSnapshot, 1, sp)
 	recs := h.drain()
 	if len(recs) == 0 {
 		return ConnRecord{Attack: AttackSpoofedCA, Host: dst.Host}
@@ -314,12 +339,18 @@ func (p *Proxy) ProbeOnce(dev *device.Device, dst device.Destination, target *ce
 // ProbeArbitraryCA intercepts with an arbitrary self-signed CA (the
 // unknown-issuer control of §4.2).
 func (p *Proxy) ProbeArbitraryCA(dev *device.Device, dst device.Destination) ConnRecord {
+	return p.ProbeArbitraryCATraced(dev, dst, nil)
+}
+
+// ProbeArbitraryCATraced is ProbeArbitraryCA with the connection traced
+// under the device's span sp.
+func (p *Proxy) ProbeArbitraryCATraced(dev *device.Device, dst device.Destination, sp *trace.Span) ConnRecord {
 	h := p.intercept(AttackNoValidation, dev.ID, dst.Host, nil)
 	defer h.stop()
 	for i := range dev.Slots {
 		dev.ConfigAt(i, device.ActiveSnapshot).ResetState()
 	}
-	driver.Connect(p.nw, dev, dst, device.ActiveSnapshot, 1)
+	driver.ConnectTraced(p.nw, dev, dst, device.ActiveSnapshot, 1, sp)
 	recs := h.drain()
 	if len(recs) == 0 {
 		return ConnRecord{Attack: AttackNoValidation, Host: dst.Host}
@@ -348,6 +379,12 @@ func (r *PassthroughReport) NewHostFraction() float64 {
 // where previously-failed connections are not intercepted, and reports
 // the hostname delta.
 func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
+	return p.RunPassthroughTraced(dev, nil)
+}
+
+// RunPassthroughTraced is RunPassthrough with both boots traced under
+// the device's span sp.
+func (p *Proxy) RunPassthroughTraced(dev *device.Device, sp *trace.Span) *PassthroughReport {
 	report := &PassthroughReport{Device: dev.ID}
 
 	// Phase 1: intercept everything from the device with self-signed
@@ -381,7 +418,7 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 			}
 		}
 	})
-	driver.Boot(p.nw, dev, device.ActiveSnapshot, 1)
+	driver.BootTraced(p.nw, dev, device.ActiveSnapshot, 1, sp)
 	handlers.Wait()
 	removeTap()
 	for h := range seen {
@@ -412,7 +449,7 @@ func (p *Proxy) RunPassthrough(dev *device.Device) *PassthroughReport {
 			p.serveAttack(AttackNoValidation, host, chain, key, conn)
 		}
 	})
-	driver.Boot(p.nw, dev, device.ActiveSnapshot, 2)
+	driver.BootTraced(p.nw, dev, device.ActiveSnapshot, 2, sp)
 	handlers.Wait()
 	removeTap()
 

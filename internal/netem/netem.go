@@ -21,6 +21,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fault"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ConnMeta describes one connection crossing the gateway.
@@ -32,6 +33,10 @@ type ConnMeta struct {
 	DstPort int
 	// At is the (virtual) time the connection was opened.
 	At time.Time
+	// Trace is the connection attempt's trace span (nil when the dial
+	// is untraced). Mirrors use it to attach capture-write spans to the
+	// attempt that produced the bytes.
+	Trace *trace.Span
 }
 
 // Addr renders the destination as "host:port".
@@ -275,7 +280,15 @@ func blackHole(conn net.Conn, _ ConnMeta) {
 // is passed to the interception handler (if the tap hijacks) or to the
 // registered listener. Dial fails with ErrNoRoute when neither applies.
 func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
-	meta := ConnMeta{SrcHost: srcHost, DstHost: dstHost, DstPort: dstPort, At: n.clk.Now()}
+	return n.DialTraced(srcHost, dstHost, dstPort, nil)
+}
+
+// DialTraced is Dial with a parent trace span: the gateway records any
+// impairment drop or injected fault as a "fault" child span of the
+// connection attempt, and threads the span to the mirror through
+// ConnMeta so capture writes join the same subtree.
+func (n *Network) DialTraced(srcHost, dstHost string, dstPort int, sp *trace.Span) (net.Conn, error) {
+	meta := ConnMeta{SrcHost: srcHost, DstHost: dstHost, DstPort: dstPort, At: n.clk.Now(), Trace: sp}
 
 	n.mu.Lock()
 	n.connCount++
@@ -302,6 +315,16 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 	var dec fault.Decision
 	if plan != nil && !drop {
 		dec = plan.Decide(srcHost, meta.Addr(), meta.At)
+	}
+
+	// Record what the gateway is about to do to this attempt as fault
+	// spans, before the effects land, so even a refused dial carries its
+	// cause in the trace tree.
+	if drop {
+		sp.Child("fault", "drop").End("injected")
+	}
+	for _, detail := range dec.TraceDetails() {
+		sp.Child("fault", detail).End("injected")
 	}
 
 	if imp.DialDelay > 0 {

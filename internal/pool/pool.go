@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Parallelism resolves a requested worker count: values below 1 mean
@@ -54,4 +56,17 @@ func Run(parallelism, items int, fn func(worker, item int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// RunSpans is Run with per-item trace spans: each item becomes a child
+// of parent with the item index as its ordinal, so the span tree is
+// identical at any parallelism. The span is ended "ok" after fn returns
+// unless fn already ended it (a recover path recording "panic", say) —
+// End is first-wins. A nil parent traces nothing and behaves like Run.
+func RunSpans(parallelism, items int, parent *trace.Span, name string, detail func(item int) string, fn func(worker, item int, sp *trace.Span)) {
+	Run(parallelism, items, func(worker, i int) {
+		sp := parent.ChildAt(uint64(i), name, detail(i))
+		defer sp.End("ok")
+		fn(worker, i, sp)
+	})
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mitm"
 	"repro/internal/pool"
 	"repro/internal/rootstore"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -129,6 +130,10 @@ type Prober struct {
 	// independent — each taps only its own device's traffic — and
 	// reports come back in candidate order regardless of the value.
 	Parallelism int
+	// Trace, when set, is the probe phase's span: ExploreAll hangs one
+	// device span per candidate off it and every probe connection is
+	// traced beneath.
+	Trace *trace.Span
 }
 
 // New builds a Prober with a single trial per CA.
@@ -149,6 +154,10 @@ func (p *Prober) repeats() int {
 // CA. The device is amenable when both trials produce alerts and the
 // alerts differ.
 func (p *Prober) Calibrate(dev *device.Device) (amenable bool, badSig, unknown wire.AlertDescription, err error) {
+	return p.calibrate(dev, nil)
+}
+
+func (p *Prober) calibrate(dev *device.Device, dsp *trace.Span) (amenable bool, badSig, unknown wire.AlertDescription, err error) {
 	tel := p.Proxy.Telemetry()
 	tel.Counter("probe.calibrations").Inc()
 	dst, ok := dev.ProbeDestination()
@@ -156,8 +165,8 @@ func (p *Prober) Calibrate(dev *device.Device) (amenable bool, badSig, unknown w
 		return false, 0, 0, fmt.Errorf("probe: %s has no boot destination", dev.ID)
 	}
 	trusted := device.OperationalCAs(p.Registry.Universe)[0].Pair.Cert
-	recKnown := p.Proxy.ProbeOnce(dev, dst, trusted)
-	recUnknown := p.Proxy.ProbeArbitraryCA(dev, dst)
+	recKnown := p.Proxy.ProbeOnceTraced(dev, dst, trusted, dsp)
+	recUnknown := p.Proxy.ProbeArbitraryCATraced(dev, dst, dsp)
 	if recKnown.Intercepted || recUnknown.Intercepted {
 		// The device accepted a forged chain: it is not validating, so
 		// there is no side channel to read.
@@ -176,11 +185,17 @@ func (p *Prober) Calibrate(dev *device.Device) (amenable bool, badSig, unknown w
 // one spoofed-CA trial per certificate in the common and deprecated
 // sets.
 func (p *Prober) Explore(dev *device.Device) (*Report, error) {
+	return p.ExploreTraced(dev, nil)
+}
+
+// ExploreTraced is Explore with every probe connection traced under the
+// device's span dsp.
+func (p *Prober) ExploreTraced(dev *device.Device, dsp *trace.Span) (*Report, error) {
 	tel := p.Proxy.Telemetry()
 	sp := tel.StartSpan("probe.explore")
 	defer sp.End("ok")
 	report := &Report{Device: dev.ID}
-	amenable, badSig, unknown, err := p.Calibrate(dev)
+	amenable, badSig, unknown, err := p.calibrate(dev, dsp)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +226,7 @@ func (p *Prober) Explore(dev *device.Device) (*Report, error) {
 			}
 			votes := map[Verdict]int{}
 			for attempt := 0; attempt < p.repeats(); attempt++ {
-				rec := p.Proxy.ProbeOnce(dev, dst, c)
+				rec := p.Proxy.ProbeOnceTraced(dev, dst, c, dsp)
 				var v Verdict
 				switch {
 				case rec.ClientAlert == nil:
@@ -256,9 +271,11 @@ func (p *Prober) ExploreAll() (amenable []*Report, candidates int, err error) {
 	devs := p.Registry.ProbeCandidates()
 	reports := make([]*Report, len(devs))
 	errs := make([]error, len(devs))
-	pool.Run(p.Parallelism, len(devs), func(_, i int) {
-		reports[i], errs[i] = p.Explore(devs[i])
-	})
+	pool.RunSpans(p.Parallelism, len(devs), p.Trace, "device",
+		func(i int) string { return devs[i].ID },
+		func(_, i int, dsp *trace.Span) {
+			reports[i], errs[i] = p.ExploreTraced(devs[i], dsp)
+		})
 	for i := range devs {
 		// Mirror the sequential engine: the first failing candidate (in
 		// candidate order) aborts, counting only the devices up to it.

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readSSE consumes an event-stream response body to EOF and returns the
+// decoded events in arrival order.
+func readSSE(t *testing.T, resp *http.Response) []Event {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var out []Event
+	var ev Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.ID != 0 {
+				out = append(out, ev)
+			}
+			ev = Event{}
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			ev.ID = n
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var data map[string]any
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &data); err != nil {
+				t.Fatalf("bad data line %q: %v", line, err)
+			}
+			ev.Data = data
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// submitStudy posts a one-month study job and returns its status.
+func submitStudy(t *testing.T, srv *httptest.Server) Status {
+	t.Helper()
+	var st Status
+	resp := httpJSON(t, "POST", srv.URL+"/jobs",
+		`{"kind":"study","window":"2018-01..2018-01"}`, &st)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", resp.StatusCode)
+	}
+	return st
+}
+
+// TestJobEventsSSE pins the live event stream contract: a follower
+// attached before the job finishes receives gapless monotonically-
+// increasing IDs, each phase starts and ends exactly once in RunAll
+// order, the stream closes with exactly one terminal state event, and a
+// Last-Event-ID (or ?after=) reconnect replays everything after the
+// given ID exactly once.
+func TestJobEventsSSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service e2e skipped in -short mode")
+	}
+	m, _ := newTestManager(t, 1, 0)
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+
+	st := submitStudy(t, srv)
+	eventsURL := srv.URL + "/jobs/" + st.ID + "/events"
+
+	// Attach immediately, while the study is (most likely) still
+	// running: the stream must deliver history plus live events and end
+	// at the terminal state.
+	resp, err := http.Get(eventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, resp)
+	if len(events) == 0 {
+		t.Fatal("event stream delivered nothing")
+	}
+
+	// IDs are 1..N with no gaps or duplicates.
+	for i, ev := range events {
+		if ev.ID != i+1 {
+			t.Fatalf("event %d has ID %d, want %d (stream must be gapless)", i, ev.ID, i+1)
+		}
+	}
+
+	// Each phase starts and ends exactly once, in RunAll order.
+	var starts, dones []string
+	terminals := 0
+	for _, ev := range events {
+		data, _ := ev.Data.(map[string]any)
+		switch ev.Type {
+		case "phase_start":
+			starts = append(starts, data["phase"].(string))
+		case "phase_done":
+			dones = append(dones, data["phase"].(string))
+		case "state":
+			terminals++
+			if got := data["state"].(string); got != StateDone {
+				t.Errorf("terminal state event says %q, want %q", got, StateDone)
+			}
+		}
+	}
+	if strings.Join(starts, ",") != strings.Join(runAllPhases, ",") {
+		t.Errorf("phase_start sequence %v, want %v", starts, runAllPhases)
+	}
+	if strings.Join(dones, ",") != strings.Join(runAllPhases, ",") {
+		t.Errorf("phase_done sequence %v, want %v", dones, runAllPhases)
+	}
+	if terminals != 1 {
+		t.Errorf("stream carried %d state events, want exactly 1", terminals)
+	}
+	if events[len(events)-1].Type != "state" {
+		t.Errorf("last event is %q, want the terminal state event", events[len(events)-1].Type)
+	}
+
+	// Resume via Last-Event-ID: everything after the given ID, exactly
+	// once.
+	mid := events[len(events)/2].ID
+	req, err := http.NewRequest("GET", eventsURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", strconv.Itoa(mid))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := readSSE(t, resp)
+	if len(resumed) != len(events)-mid {
+		t.Fatalf("resume after %d delivered %d events, want %d", mid, len(resumed), len(events)-mid)
+	}
+	for i, ev := range resumed {
+		if ev.ID != mid+i+1 {
+			t.Fatalf("resumed event %d has ID %d, want %d", i, ev.ID, mid+i+1)
+		}
+	}
+
+	// The ?after= query form behaves identically (for clients that
+	// cannot set headers).
+	resp, err = http.Get(eventsURL + "?after=" + strconv.Itoa(events[len(events)-1].ID-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := readSSE(t, resp)
+	if len(tail) != 1 || tail[0].Type != "state" {
+		t.Fatalf("?after= resume delivered %v, want just the terminal state event", tail)
+	}
+
+	// Unknown jobs 404 on the events route too.
+	if resp := httpJSON(t, "GET", srv.URL+"/jobs/job-999999/events", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEventLogWaitCancel pins that a blocked follower is released by
+// its done channel without receiving anything.
+func TestEventLogWaitCancel(t *testing.T) {
+	l := newEventLog()
+	done := make(chan struct{})
+	got := make(chan int, 1)
+	go func() {
+		evs, _ := l.Wait(0, done)
+		got <- len(evs)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(done)
+	select {
+	case n := <-got:
+		if n != 0 {
+			t.Errorf("cancelled Wait returned %d events, want 0", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not return after done fired")
+	}
+}
+
+// TestMetricsPrometheusFormat checks content negotiation on both metric
+// endpoints: ?format=prometheus (or a text/plain Accept header) selects
+// the text exposition, the default stays JSON.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service e2e skipped in -short mode")
+	}
+	m, _ := newTestManager(t, 1, 0)
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+
+	st := submitStudy(t, srv)
+	j, ok := m.Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s vanished", st.ID)
+	}
+	waitDone(t, j)
+
+	fetch := func(url, accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteString("\n")
+		}
+		return sb.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := fetch(srv.URL+"/metrics?format=prometheus", "")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics?format=prometheus Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE serve_jobs_submitted counter\nserve_jobs_submitted 1\n") {
+		t.Errorf("prometheus process metrics missing serve_jobs_submitted:\n%s", body)
+	}
+
+	body, ct = fetch(srv.URL+"/metrics/jobs/"+st.ID+"?format=prometheus", "")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("job prometheus Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE traffic_months counter\ntraffic_months 1\n") {
+		t.Errorf("prometheus job metrics missing traffic_months:\n%s", body)
+	}
+
+	// Accept-header negotiation selects the exposition too.
+	_, ct = fetch(srv.URL+"/metrics", "text/plain")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Accept: text/plain Content-Type = %q", ct)
+	}
+
+	// The default remains JSON for existing scrapers.
+	body, ct = fetch(srv.URL+"/metrics", "")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default /metrics Content-Type = %q", ct)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("default /metrics body is not JSON:\n%s", body)
+	}
+}

@@ -78,6 +78,8 @@ type Job struct {
 	cancel context.CancelFunc // unblocks a queued ticket on drain
 	done   chan struct{}
 
+	events *eventLog
+
 	mu        sync.Mutex
 	state     string
 	err       string
@@ -316,6 +318,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		ticket:    ticket,
 		cancel:    cancel,
 		done:      make(chan struct{}),
+		events:    newEventLog(),
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -376,6 +379,8 @@ func (j *Job) finish(state, errMsg string, degraded bool) {
 	if degraded {
 		j.m.proc.Counter("serve.jobs.degraded").Inc()
 	}
+	j.events.Append("state", stateEvent{State: state, Degraded: degraded, Error: errMsg})
+	j.events.Close()
 }
 
 // config translates the spec into the study config. The leased weight
@@ -412,6 +417,7 @@ func (j *Job) runStudy() (degraded bool, err error) {
 	if hook := j.m.PhaseHook; hook != nil {
 		s.PhaseDone = func(phase string) { hook(j.ID, phase) }
 	}
+	j.wireStudyEvents(s)
 	j.mu.Lock()
 	j.study = s
 	j.tel = s.Telemetry

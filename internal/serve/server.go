@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/telemetry"
 )
 
 // CRCHeader carries a shard's manifest CRC32 (IEEE, over the
@@ -37,6 +38,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.getArtifact)
 	s.mux.HandleFunc("GET /jobs/{id}/dataset", s.getDatasetIndex)
 	s.mux.HandleFunc("GET /jobs/{id}/dataset/{file}", s.getDatasetFile)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.jobEvents)
 	s.mux.HandleFunc("GET /metrics", s.processMetrics)
 	s.mux.HandleFunc("GET /metrics/jobs/{id}", s.jobMetrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
@@ -247,17 +249,41 @@ func (s *Server) getDatasetFile(w http.ResponseWriter, r *http.Request) {
 	s.m.proc.Counter("serve.dataset.streams").Inc()
 }
 
-// processMetrics handles GET /metrics: the process-wide registry.
+// wantsPrometheus reports whether the request asked for the Prometheus
+// text exposition, via ?format=prometheus or an Accept header
+// preferring text/plain (how a Prometheus scraper negotiates).
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+// writeMetrics renders one registry snapshot as JSON or, when the
+// request negotiated it, the Prometheus text exposition format.
+func writeMetrics(w http.ResponseWriter, r *http.Request, snap *telemetry.Snapshot) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		snap.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// processMetrics handles GET /metrics: the process-wide registry
+// (add ?format=prometheus for a scrapeable exposition).
 func (s *Server) processMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.proc.Snapshot())
+	writeMetrics(w, r, s.m.proc.Snapshot())
 }
 
 // jobMetrics handles GET /metrics/jobs/{id}: the job's own registry —
 // a study job's full testbed telemetry, isolated from every other
-// job's.
+// job's (add ?format=prometheus for a scrapeable exposition).
 func (s *Server) jobMetrics(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, j.Registry().Snapshot())
+		writeMetrics(w, r, j.Registry().Snapshot())
 	}
 }
 

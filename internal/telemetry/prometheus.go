@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket series plus _sum and _count. Metric
+// names are sanitised (dots and any other illegal runes become
+// underscores) and emitted in sorted order, so the output is
+// deterministic for a deterministic snapshot.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	type sample struct {
+		name string
+		emit func() error
+	}
+	var samples []sample
+
+	for name, v := range s.Counters {
+		n, v := promName(name), v
+		samples = append(samples, sample{n, func() error {
+			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, v)
+			return err
+		}})
+	}
+	for name, v := range s.Gauges {
+		n, v := promName(name), v
+		samples = append(samples, sample{n, func() error {
+			_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, v)
+			return err
+		}})
+	}
+	for name, h := range s.Histograms {
+		n, h := promName(name), h
+		samples = append(samples, sample{n, func() error {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+				return err
+			}
+			// Counts[i] is the count for bucket i; the exposition format
+			// wants cumulative counts with an explicit +Inf bucket.
+			var cum int64
+			for i, b := range h.Bounds {
+				if i < len(h.Counts) {
+					cum += h.Counts[i]
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, strconv.FormatInt(b, 10), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count); err != nil {
+				return err
+			}
+			return nil
+		}})
+	}
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+	for _, sm := range samples {
+		if err := sm.emit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -36,6 +36,10 @@ func (r *Registry) Snapshot() *Snapshot {
 		return s
 	}
 	s.TakenAt = r.Now()
+	// Unended spans are leaks: the count should be zero at any quiescent
+	// point (end of a study). Surfaced as a counter so leak tests and
+	// the Prometheus exposition see it without a dedicated field.
+	s.Counters["telemetry.spans.leaked"] = r.liveSpans.Load()
 	r.mu.RLock()
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()

@@ -47,6 +47,7 @@ func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
+	r.liveSpans.Add(1)
 	return &Span{reg: r, name: name, virtStart: r.Now(), wallStart: time.Now()}
 }
 
@@ -79,6 +80,7 @@ func (s *Span) End(status string) {
 	s.ended = true
 	phases := s.phases
 	s.mu.Unlock()
+	s.reg.liveSpans.Add(-1)
 
 	virtEnd := s.reg.Now()
 	wallDur := time.Since(s.wallStart)

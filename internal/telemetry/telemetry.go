@@ -89,6 +89,10 @@ type Registry struct {
 	spanNext int          // next write position in the ring
 	spanSeq  uint64
 	maxSpans int
+
+	// liveSpans counts started-but-unended spans; Snapshot surfaces it
+	// as telemetry.spans.leaked so leak tests can assert it hits zero.
+	liveSpans atomic.Int64
 }
 
 // DefaultSpanRetention is how many finished spans a Registry keeps for

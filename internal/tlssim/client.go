@@ -142,7 +142,13 @@ func Client(conn net.Conn, cfg *ClientConfig, serverName string, seq uint64) (se
 		return nil, failure(FailCertificate, sent, verr)
 	}
 	if !bypass {
+		vsp := cfg.Trace.Child("chain_verify", serverName)
 		verr := validateServerCert(cfg, cm.Chain, serverName, doneMsg.Body, transcript.Bytes(), stapled)
+		if verr != nil {
+			vsp.End("rejected")
+		} else {
+			vsp.End("ok")
+		}
 		if verr != nil {
 			sp.Phase("certificate_rejected")
 			n := state.consecutiveFailures.Add(1)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ciphers"
 	"repro/internal/clock"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -134,6 +135,11 @@ type ClientConfig struct {
 	// phases. Nil disables instrumentation (a nil registry is a no-op,
 	// so the field may also be left nil-safe by callers).
 	Telemetry *telemetry.Registry
+
+	// Trace is the connection attempt's causal trace span; chain
+	// verification is recorded as a child. The driver sets it per
+	// attempt; nil (the zero value) disables trace instrumentation.
+	Trace *trace.Span
 
 	// HandshakeTimeout bounds the wait for each server flight; an
 	// expired timeout is classified as an incomplete handshake.

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Field
+// order is fixed by the struct, so exports are byte-deterministic.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	Ts   int64       `json:"ts"`
+	Dur  int64       `json:"dur"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args chromeSpanA `json:"args"`
+}
+
+type chromeSpanA struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent"`
+	Ordinal uint64 `json:"ordinal"`
+	Detail  string `json:"detail,omitempty"`
+	Status  string `json:"status"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ExportChrome writes spans as Chrome trace-event JSON, loadable in
+// chrome://tracing and Perfetto. Timestamps are virtual microseconds;
+// the thread lane (tid) is the span's tree depth, so each row of the
+// timeline is one level of the study → phase → device → connect
+// hierarchy. Output is deterministic: spans are emitted in canonical
+// DFS order with fixed JSON field order.
+func ExportChrome(w io.Writer, spans []SpanRecord) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		r := n.rec
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: label(r),
+			Cat:  r.Name,
+			Ph:   "X",
+			Ts:   r.Start.UnixMicro(),
+			Dur:  r.Duration().Microseconds(),
+			Pid:  1,
+			Tid:  depth,
+			Args: chromeSpanA{
+				ID:      r.ID,
+				Parent:  r.Parent,
+				Ordinal: r.Ordinal,
+				Detail:  r.Detail,
+				Status:  r.Status,
+			},
+		})
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range buildForest(spans) {
+		walk(root, 0)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,235 @@
+// Package trace is the study engine's causal tracing layer: a
+// deterministic tree of spans over the virtual clock, one tree per
+// study, shaped
+//
+//	study → phase → device → connect → {retry, fault, chain_verify, capture_write}
+//
+// Span identifiers are derived from the study seed and each span's
+// (parent, name, ordinal) coordinates — never from wall time or
+// math/rand — and timestamps are virtual, so two same-seed runs emit
+// byte-identical traces at any parallelism. Ordinals come from the same
+// pre-enumeration discipline the worker pool uses: fan-out sites assign
+// the item index explicitly (ChildAt), sequential sites use the
+// parent's own child counter (Child).
+//
+// A nil *Tracer and a nil *Span are no-ops, so instrumented code paths
+// need no tracing-enabled checks.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies span timestamps. The study engine passes its simulated
+// clock; a nil Clock stamps zero times (unit tests).
+type Clock interface {
+	Now() time.Time
+}
+
+// SpanRecord is one completed span, the unit persisted in trace.bin.
+type SpanRecord struct {
+	// ID is the seeded-deterministic span identifier; never zero.
+	ID uint64 `json:"id"`
+	// Parent is the parent span's ID; zero for the study root.
+	Parent uint64 `json:"parent,omitempty"`
+	// Ordinal is this span's position among its parent's children. At
+	// fan-out sites it is the pre-enumerated work-item index, so it is
+	// independent of worker scheduling.
+	Ordinal uint64 `json:"ordinal"`
+	// Name classifies the span: study, phase, month, device, connect,
+	// retry, fallback, fault, chain_verify, capture_write.
+	Name string `json:"name"`
+	// Detail carries the instance label: phase name, device ID, host,
+	// fault kind.
+	Detail string `json:"detail,omitempty"`
+	// Status is the outcome: "ok", a failure class, "alert:<desc>",
+	// "gave_up", "injected" (fault spans), "skipped".
+	Status string `json:"status"`
+	// Start and End are virtual times.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Duration is the span's virtual duration.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Tracer collects the completed spans of one study. Completion order is
+// scheduling-dependent; Spans canonicalises to deterministic DFS order.
+type Tracer struct {
+	clk  Clock
+	seed uint64
+
+	// onComplete, when set (before spans start ending), observes every
+	// completed span — the serve layer's live event feed. Called outside
+	// tracer locks.
+	onComplete func(SpanRecord)
+
+	live atomic.Int64
+
+	mu   sync.Mutex
+	done []SpanRecord
+}
+
+// New builds a Tracer for one study. The seed (conventionally the fault
+// seed; zero for clean runs) keys every span ID in the tree.
+func New(clk Clock, seed uint64) *Tracer {
+	return &Tracer{clk: clk, seed: seed}
+}
+
+// OnComplete registers an observer for completed spans. Set it before
+// the study starts; it is invoked from whichever goroutine ends a span.
+func (t *Tracer) OnComplete(fn func(SpanRecord)) {
+	if t != nil {
+		t.onComplete = fn
+	}
+}
+
+// Live reports the number of started-but-unended spans — nonzero after
+// a completed study means an instrumentation leak.
+func (t *Tracer) Live() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.live.Load()
+}
+
+// Root starts the tree's root span (parent 0, ordinal 0).
+func (t *Tracer) Root(name, detail string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(0, 0, name, detail)
+}
+
+func (t *Tracer) now() time.Time {
+	if t.clk == nil {
+		return time.Time{}
+	}
+	return t.clk.Now()
+}
+
+func (t *Tracer) start(parent, ordinal uint64, name, detail string) *Span {
+	t.live.Add(1)
+	return &Span{
+		t: t,
+		rec: SpanRecord{
+			ID:      spanID(t.seed, parent, name, ordinal),
+			Parent:  parent,
+			Ordinal: ordinal,
+			Name:    name,
+			Detail:  detail,
+			Start:   t.now(),
+		},
+	}
+}
+
+// Spans returns every completed span in canonical DFS order (children
+// sorted by ordinal): the byte-identical serialisation order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	done := append([]SpanRecord(nil), t.done...)
+	t.mu.Unlock()
+	return Canonical(done)
+}
+
+// Span is one live span. All methods are safe on a nil receiver.
+type Span struct {
+	t   *Tracer
+	rec SpanRecord
+
+	mu    sync.Mutex
+	kids  uint64
+	ended bool
+}
+
+// ID returns the span's identifier (zero for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.ID
+}
+
+// Child starts a child span, assigning the next sequential ordinal.
+// Use at sequential call sites only; fan-out sites must use ChildAt so
+// ordinals are scheduling-independent.
+func (s *Span) Child(name, detail string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ord := s.kids
+	s.kids++
+	s.mu.Unlock()
+	return s.t.start(s.rec.ID, ord, name, detail)
+}
+
+// ChildAt starts a child span with an explicit ordinal — the
+// pre-enumerated work-item index at pool fan-out sites. Callers must
+// not mix ChildAt and Child ordinals under one parent.
+func (s *Span) ChildAt(ordinal uint64, name, detail string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(s.rec.ID, ordinal, name, detail)
+}
+
+// End completes the span with the given status, stamps the virtual end
+// time, and hands the record to the tracer. Only the first End takes
+// effect.
+func (s *Span) End(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := s.rec
+	s.mu.Unlock()
+
+	rec.Status = status
+	rec.End = s.t.now()
+	s.t.live.Add(-1)
+	s.t.mu.Lock()
+	s.t.done = append(s.t.done, rec)
+	s.t.mu.Unlock()
+	if fn := s.t.onComplete; fn != nil {
+		fn(rec)
+	}
+}
+
+// spanID derives a span identifier from the study seed and the span's
+// tree coordinates, with the same splitmix64 chaining the fault planner
+// uses. Never returns zero (zero means "no parent").
+func spanID(seed, parent uint64, name string, ordinal uint64) uint64 {
+	h := splitmix64(seed ^ 0x7261636574726163) // domain tag, distinct from fault streams
+	h = splitmix64(h ^ parent)
+	for i := 0; i < len(name); i++ {
+		h = splitmix64(h ^ uint64(name[i]))
+	}
+	h = splitmix64(h ^ ordinal)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// splitmix64 is the finalizer from the splitmix64 PRNG — a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

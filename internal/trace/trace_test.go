@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable Clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newClock() *fakeClock {
+	return &fakeClock{t: time.Date(2018, 1, 15, 0, 0, 0, 0, time.UTC)}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.Root("study", ""); sp != nil {
+		t.Fatalf("nil tracer Root = %v, want nil", sp)
+	}
+	if tr.Live() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer should report empty state")
+	}
+	var sp *Span
+	sp.End("ok")
+	if c := sp.Child("x", ""); c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	if c := sp.ChildAt(3, "x", ""); c != nil {
+		t.Fatalf("nil span ChildAt = %v, want nil", c)
+	}
+	if sp.ID() != 0 {
+		t.Fatal("nil span ID should be 0")
+	}
+}
+
+func TestIDsDeterministicAndSeeded(t *testing.T) {
+	a := spanID(42, 7, "connect", 3)
+	b := spanID(42, 7, "connect", 3)
+	if a != b {
+		t.Fatalf("same coordinates gave different IDs: %x vs %x", a, b)
+	}
+	if spanID(42, 7, "connect", 4) == a || spanID(43, 7, "connect", 3) == a || spanID(42, 8, "connect", 3) == a {
+		t.Fatal("distinct coordinates collided")
+	}
+	if spanID(0, 0, "", 0) == 0 {
+		t.Fatal("span ID must never be zero")
+	}
+}
+
+// TestCanonicalOrderIndependentOfEndOrder ends the same tree's spans in
+// two different schedules and expects byte-identical canonical output.
+func TestCanonicalOrderIndependentOfEndOrder(t *testing.T) {
+	build := func(reverse bool) []SpanRecord {
+		clk := newClock()
+		tr := New(clk, 99)
+		root := tr.Root("study", "")
+		var phases []*Span
+		var conns []*Span
+		for p := 0; p < 2; p++ {
+			ph := root.Child("phase", []string{"passive", "probe"}[p])
+			phases = append(phases, ph)
+			for d := 0; d < 3; d++ {
+				dev := ph.ChildAt(uint64(d), "device", "dev")
+				c := dev.Child("connect", "host")
+				conns = append(conns, c)
+				clk.advance(time.Millisecond)
+				dev.End("ok")
+			}
+		}
+		if reverse {
+			for i := len(conns) - 1; i >= 0; i-- {
+				conns[i].End("ok")
+			}
+		} else {
+			for _, c := range conns {
+				c.End("ok")
+			}
+		}
+		for _, ph := range phases {
+			ph.End("ok")
+		}
+		root.End("ok")
+		if tr.Live() != 0 {
+			t.Fatalf("leaked %d spans", tr.Live())
+		}
+		return tr.Spans()
+	}
+	// End times differ between the two schedules only for spans ended
+	// after clock advances; both schedules advance identically here, so
+	// the trees must match exactly.
+	a, b := build(false), build(true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("canonical order depends on end order:\n%v\n%v", a, b)
+	}
+	if len(a) != 1+2+6+6 {
+		t.Fatalf("unexpected span count %d", len(a))
+	}
+	if a[0].Name != "study" || a[1].Name != "phase" || a[2].Name != "device" || a[3].Name != "connect" {
+		t.Fatalf("not DFS order: %v %v %v %v", a[0].Name, a[1].Name, a[2].Name, a[3].Name)
+	}
+}
+
+func TestLiveCountsLeaks(t *testing.T) {
+	tr := New(newClock(), 1)
+	root := tr.Root("study", "")
+	ph := root.Child("phase", "passive")
+	if got := tr.Live(); got != 2 {
+		t.Fatalf("Live = %d, want 2", got)
+	}
+	ph.End("ok")
+	ph.End("ok") // second End is a no-op
+	if got := tr.Live(); got != 1 {
+		t.Fatalf("Live after one End = %d, want 1", got)
+	}
+	root.End("ok")
+	if got := tr.Live(); got != 0 {
+		t.Fatalf("Live after all End = %d, want 0", got)
+	}
+	if n := len(tr.Spans()); n != 2 {
+		t.Fatalf("Spans = %d records, want 2 (double End must not duplicate)", n)
+	}
+}
+
+func TestOnComplete(t *testing.T) {
+	tr := New(newClock(), 1)
+	var got []string
+	tr.OnComplete(func(r SpanRecord) { got = append(got, r.Name+":"+r.Status) })
+	sp := tr.Root("study", "")
+	sp.Child("phase", "passive").End("skipped")
+	sp.End("ok")
+	want := []string{"phase:skipped", "study:ok"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OnComplete saw %v, want %v", got, want)
+	}
+}
+
+func TestExportChromeDeterministic(t *testing.T) {
+	mk := func() []byte {
+		tr := New(newClock(), 7)
+		root := tr.Root("study", "")
+		ph := root.Child("phase", "passive")
+		dev := ph.ChildAt(0, "device", "cam-1")
+		dev.Child("connect", "api.example.com").End("alert:unknown_ca")
+		dev.End("ok")
+		ph.End("ok")
+		root.End("ok")
+		var buf bytes.Buffer
+		if err := ExportChrome(&buf, tr.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatal("chrome export not byte-deterministic")
+	}
+	for _, want := range []string{`"traceEvents"`, `"ph": "X"`, `"connect(api.example.com)"`, `"status": "alert:unknown_ca"`} {
+		if !strings.Contains(string(a), want) {
+			t.Fatalf("export missing %s:\n%s", want, a)
+		}
+	}
+}
+
+func TestSlowPaths(t *testing.T) {
+	clk := newClock()
+	tr := New(clk, 7)
+	root := tr.Root("study", "")
+	ph := root.Child("phase", "passive")
+	fast := ph.ChildAt(0, "device", "fast")
+	fast.End("ok")
+	slow := ph.ChildAt(1, "device", "slow")
+	clk.advance(time.Second)
+	slow.End("ok")
+	ph.End("ok")
+	root.End("ok")
+
+	paths := SlowPaths(tr.Spans(), 2)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	// Root, phase and the slow device all span the full second; the
+	// deepest tie-broken path set must include the slow device's path.
+	if !strings.Contains(paths[0].Path, "study") {
+		t.Fatalf("deepest path %q should start at the root", paths[0].Path)
+	}
+	all := SlowPaths(tr.Spans(), 0)
+	found := false
+	for _, p := range all {
+		if strings.HasSuffix(p.Path, "device(slow)") && p.Duration == time.Second {
+			found = true
+		}
+		if strings.HasSuffix(p.Path, "device(fast)") && p.Duration != 0 {
+			t.Fatalf("fast device has nonzero duration %v", p.Duration)
+		}
+	}
+	if !found {
+		t.Fatalf("slow device path missing from %v", all)
+	}
+}
+
+func TestErrorGroupsAttributeFaults(t *testing.T) {
+	tr := New(newClock(), 7)
+	root := tr.Root("study", "")
+	ph := root.Child("phase", "passive")
+	dev := ph.ChildAt(0, "device", "cam-1")
+
+	// Connect that gave up after a fault-injected retry.
+	c1 := dev.Child("connect", "a.example.com")
+	f := c1.Child("fault", "dial_fail")
+	f.End("injected")
+	r1 := c1.Child("retry", "attempt 1")
+	r1.Child("fault", "dial_fail").End("injected")
+	r1.End("fault_injected")
+	c1.End("gave_up")
+
+	// Connect that failed on an alert, no fault involved.
+	c2 := dev.Child("connect", "b.example.com")
+	c2.End("alert:unknown_ca")
+
+	dev.End("ok")
+	ph.End("ok")
+	root.End("ok")
+
+	groups := ErrorGroups(tr.Spans())
+	byKey := map[string]int{}
+	for _, g := range groups {
+		byKey[g.Key] = g.Count
+	}
+	// gave_up connect + its failing retry both attribute to the fault.
+	if byKey["fault:dial_fail"] != 2 {
+		t.Fatalf("fault:dial_fail count = %d, want 2 (groups %v)", byKey["fault:dial_fail"], groups)
+	}
+	if byKey["alert:unknown_ca"] != 1 {
+		t.Fatalf("alert:unknown_ca count = %d, want 1 (groups %v)", byKey["alert:unknown_ca"], groups)
+	}
+}
+
+func TestCanonicalToleratesOrphans(t *testing.T) {
+	spans := []SpanRecord{
+		{ID: 5, Parent: 999, Ordinal: 0, Name: "device"},
+		{ID: 2, Parent: 1, Ordinal: 0, Name: "phase"},
+		{ID: 1, Parent: 0, Ordinal: 0, Name: "study"},
+	}
+	out := Canonical(spans)
+	if len(out) != 3 {
+		t.Fatalf("lost spans: %v", out)
+	}
+	if out[0].ID != 1 || out[1].ID != 2 {
+		t.Fatalf("tree order wrong: %v", out)
+	}
+}

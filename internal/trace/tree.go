@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// node is one span in a reconstructed tree.
+type node struct {
+	rec      SpanRecord
+	children []*node
+}
+
+// buildForest reconstructs span trees from an unordered record slice.
+// Roots (parent zero, or parent not present — a merged dataset or a
+// partially traced run) are sorted by (ordinal, ID); children by
+// ordinal then ID. Duplicate IDs (same-seed runs merged into one
+// dataset) are kept as siblings in input order.
+func buildForest(spans []SpanRecord) []*node {
+	nodes := make([]*node, len(spans))
+	byID := make(map[uint64]*node, len(spans))
+	for i, r := range spans {
+		nodes[i] = &node{rec: r}
+		if _, dup := byID[r.ID]; !dup {
+			byID[r.ID] = nodes[i]
+		}
+	}
+	var roots []*node
+	for _, n := range nodes {
+		if p, ok := byID[n.rec.Parent]; ok && n.rec.Parent != 0 && p != n {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	less := func(a, b *node) bool {
+		if a.rec.Ordinal != b.rec.Ordinal {
+			return a.rec.Ordinal < b.rec.Ordinal
+		}
+		return a.rec.ID < b.rec.ID
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return less(roots[i], roots[j]) })
+	for _, n := range nodes {
+		kids := n.children
+		sort.SliceStable(kids, func(i, j int) bool { return less(kids[i], kids[j]) })
+	}
+	return roots
+}
+
+// Canonical reorders completed spans into deterministic depth-first
+// order: parents before children, siblings by ordinal. This is the
+// order trace shards are written in and exports are emitted in.
+func Canonical(spans []SpanRecord) []SpanRecord {
+	out := make([]SpanRecord, 0, len(spans))
+	var walk func(n *node)
+	walk = func(n *node) {
+		out = append(out, n.rec)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	for _, r := range buildForest(spans) {
+		walk(r)
+	}
+	return out
+}
+
+// label renders a span as name(detail) for path displays.
+func label(r SpanRecord) string {
+	if r.Detail == "" {
+		return r.Name
+	}
+	return r.Name + "(" + r.Detail + ")"
+}
+
+// PathDuration is one entry of a SlowPaths report: a span's virtual
+// duration and its full root-to-span path.
+type PathDuration struct {
+	Duration time.Duration
+	Status   string
+	Path     string
+}
+
+// SlowPaths ranks spans by virtual duration, deepest virtual-time paths
+// first, returning at most top entries. Ties break on path, so the
+// report is deterministic.
+func SlowPaths(spans []SpanRecord, top int) []PathDuration {
+	var out []PathDuration
+	var walk func(n *node, prefix string)
+	walk = func(n *node, prefix string) {
+		path := prefix + label(n.rec)
+		out = append(out, PathDuration{Duration: n.rec.Duration(), Status: n.rec.Status, Path: path})
+		for _, c := range n.children {
+			walk(c, path+" > ")
+		}
+	}
+	for _, r := range buildForest(spans) {
+		walk(r, "")
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].Path < out[j].Path
+	})
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+// StatusOK reports whether a status string counts as a successful
+// outcome. Fault spans end "injected": they are causes, not failures.
+func StatusOK(status string) bool {
+	return status == "ok" || status == "injected" || status == ""
+}
+
+// ErrorGroup aggregates non-ok subtrees sharing a cause.
+type ErrorGroup struct {
+	// Key is the cause: "fault:<kind>" when the failing subtree
+	// contains a fault-injection span, "alert:<desc>" when the failure
+	// status names an alert, otherwise "status:<status>".
+	Key   string
+	Count int
+	// Sample is the path of one representative failing span (the first
+	// in canonical order).
+	Sample string
+}
+
+// ErrorGroups walks the forest and groups every span that ended non-ok
+// by fault kind or alert. A failing span whose subtree contains fault
+// injections is attributed to the last fault injected (the one the
+// final attempt observed).
+func ErrorGroups(spans []SpanRecord) []ErrorGroup {
+	type agg struct {
+		count  int
+		sample string
+	}
+	groups := map[string]*agg{}
+	var order []string
+
+	var lastFault func(n *node) string
+	lastFault = func(n *node) string {
+		kind := ""
+		if n.rec.Name == "fault" {
+			kind = n.rec.Detail
+		}
+		for _, c := range n.children {
+			if k := lastFault(c); k != "" {
+				kind = k
+			}
+		}
+		return kind
+	}
+
+	var walk func(n *node, prefix string)
+	walk = func(n *node, prefix string) {
+		path := prefix + label(n.rec)
+		if !StatusOK(n.rec.Status) {
+			key := "status:" + n.rec.Status
+			if k := lastFault(n); k != "" {
+				key = "fault:" + k
+			} else if strings.HasPrefix(n.rec.Status, "alert:") {
+				key = n.rec.Status
+			}
+			g := groups[key]
+			if g == nil {
+				g = &agg{sample: path}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.count++
+		}
+		for _, c := range n.children {
+			walk(c, path+" > ")
+		}
+	}
+	for _, r := range buildForest(spans) {
+		walk(r, "")
+	}
+
+	out := make([]ErrorGroup, 0, len(order))
+	for _, key := range order {
+		out = append(out, ErrorGroup{Key: key, Count: groups[key].count, Sample: groups[key].sample})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// WriteSlowReport renders a SlowPaths table.
+func WriteSlowReport(w io.Writer, paths []PathDuration) error {
+	for _, p := range paths {
+		if _, err := fmt.Fprintf(w, "%12s  %-10s %s\n", p.Duration, p.Status, p.Path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteErrorReport renders an ErrorGroups table.
+func WriteErrorReport(w io.Writer, groups []ErrorGroup) error {
+	if len(groups) == 0 {
+		_, err := fmt.Fprintln(w, "no failing spans")
+		return err
+	}
+	for _, g := range groups {
+		if _, err := fmt.Fprintf(w, "%6d  %-32s %s\n", g.Count, g.Key, g.Sample); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/netem"
 	"repro/internal/pool"
+	"repro/internal/trace"
 )
 
 // captureTimeout bounds the post-month wait for sniffers to publish.
@@ -41,6 +42,11 @@ type Generator struct {
 	// Zero or negative means GOMAXPROCS; one reproduces the sequential
 	// engine exactly (and any value reproduces its artifacts).
 	Parallelism int
+
+	// Trace, when set, is the passive phase's span: each month becomes
+	// a child, each device's monthly batch a child of the month, and
+	// every handshake a connect span beneath.
+	Trace *trace.Span
 
 	// Stop, when non-nil, is polled at each month boundary; once it
 	// returns true the run ends before simulating the next month. The
@@ -100,6 +106,7 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 			break
 		}
 		sp := tel.StartSpan("traffic.month")
+		msp := g.Trace.Child("month", m.String())
 		// Mid-month timestamp so observations land in the right bucket.
 		if t := m.Start().Add(14 * 24 * time.Hour); t.After(g.Clock.Now()) {
 			g.Clock.AdvanceTo(t)
@@ -123,22 +130,24 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 
 		accs := make([]Stats, workers)
 		month := m
-		pool.Run(workers, len(items), func(worker, i int) {
-			it := items[i]
-			acc := &accs[worker]
-			for k, dst := range it.dsts {
-				g.Collector.WillDial(it.dev.ID, dst.Host, 443, dst.MonthlyConns)
-				out := driver.Connect(g.Network, it.dev, dst, month, it.seqs[k])
-				acc.Handshakes++
-				acc.WeightedConns += dst.MonthlyConns
-				tel.Counter("traffic.handshakes").Inc()
-				tel.Counter("traffic.weighted_conns").Add(int64(dst.MonthlyConns))
-				if !out.Established {
-					acc.FailedConnects++
-					tel.Counter("traffic.failed_connects").Inc()
+		pool.RunSpans(workers, len(items), msp, "device",
+			func(i int) string { return items[i].dev.ID },
+			func(worker, i int, dsp *trace.Span) {
+				it := items[i]
+				acc := &accs[worker]
+				for k, dst := range it.dsts {
+					g.Collector.WillDial(it.dev.ID, dst.Host, 443, dst.MonthlyConns)
+					out := driver.ConnectTraced(g.Network, it.dev, dst, month, it.seqs[k], dsp)
+					acc.Handshakes++
+					acc.WeightedConns += dst.MonthlyConns
+					tel.Counter("traffic.handshakes").Inc()
+					tel.Counter("traffic.weighted_conns").Add(int64(dst.MonthlyConns))
+					if !out.Established {
+						acc.FailedConnects++
+						tel.Counter("traffic.failed_connects").Inc()
+					}
 				}
-			}
-		})
+			})
 		for _, acc := range accs {
 			stats.add(acc)
 		}
@@ -149,6 +158,7 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 		// barrier retries with doubled timeouts before failing the month.
 		if err := g.Collector.WaitIdlePatient(captureTimeout, 2); err != nil {
 			sp.End("lagging")
+			msp.End("lagging")
 			return stats, fmt.Errorf("traffic: capture lagging in %s (%d observations stored): %w",
 				m, g.Collector.Store.Len(), err)
 		}
@@ -159,6 +169,7 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 		stats.Months++
 		tel.Counter("traffic.months").Inc()
 		sp.End("ok")
+		msp.End("ok")
 	}
 	return stats, nil
 }
