@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: check build test race race-parallel chaos dataset serve trace vet bench bench-telemetry clean
+.PHONY: check build test race race-parallel chaos dataset serve trace vet bench bench-telemetry bench-gate profile clean
 
 # check is the full verification gate: vet, build, the test suite under
 # the race detector, the parallel-study workload under the race
 # detector at eight workers, the fault-injection chaos matrix, the
 # dataset round-trip and merge determinism suite, the study-service
 # scheduler/drain suite, and the trace determinism/attribution/leak
-# suite.
+# suite. Set BENCH_GATE=1 to additionally run the performance
+# regression gate (off by default: it re-measures codec throughput, so
+# it is meaningful only on quiet, comparable hardware).
 check: vet build race race-parallel chaos dataset serve trace
+ifneq ($(BENCH_GATE),)
+check: bench-gate
+endif
 
 build:
 	$(GO) build ./...
@@ -86,6 +91,28 @@ bench:
 # and captures the deterministic telemetry report.
 bench-telemetry:
 	$(GO) run ./cmd/iotls metrics report -o BENCH_telemetry.json > /dev/null
+
+# bench-gate is the performance regression gate: it fails if the
+# committed BENCH_study.json reports speedup_no_latency < 1.0, or if
+# freshly measured dataset codec throughput regresses more than 10%
+# below the committed BENCH_dataset.json. Opt into it from the full
+# gate with `make check BENCH_GATE=1`.
+bench-gate:
+	$(GO) test ./internal/dataset/ -run TestBenchGate -count=1 -timeout 30m -v \
+		-dataset.benchgate=$(CURDIR)
+
+# profile captures CPU and heap profiles of the full-study benchmark
+# (in-memory sequential + parallel pair) into ./profiles/ and prints
+# the top-10 flat entries of each, so the next perf pass starts from
+# data instead of guesses.
+profile:
+	mkdir -p profiles
+	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkFullStudy/(sequential|parallel)$$' \
+		-benchtime 3x -count=1 -timeout 30m \
+		-cpuprofile $(CURDIR)/profiles/cpu.out -memprofile $(CURDIR)/profiles/mem.out \
+		-o $(CURDIR)/profiles/bench.test
+	$(GO) tool pprof -top -flat -nodecount=10 $(CURDIR)/profiles/bench.test $(CURDIR)/profiles/cpu.out
+	$(GO) tool pprof -top -flat -nodecount=10 -sample_index=alloc_objects $(CURDIR)/profiles/bench.test $(CURDIR)/profiles/mem.out
 
 clean:
 	rm -f observations.jsonl trace.json

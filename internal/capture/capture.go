@@ -117,6 +117,11 @@ type Store struct {
 	tel *telemetry.Registry
 	rev []RevocationEvent
 
+	// hot holds the pre-resolved publish-path counters for the attached
+	// registry. It is swapped atomically by SetTelemetry so Add never
+	// takes the store mutex just to count.
+	hot atomic.Pointer[storeCounters]
+
 	shards [storeShards]storeShard
 	count  atomic.Int64
 	// gen counts completed Adds; sorted caches the canonical snapshot
@@ -125,13 +130,41 @@ type Store struct {
 	sorted atomic.Pointer[sortedSnapshot]
 }
 
+// storeCounters caches the capture counters the publish path bumps per
+// observation (and the sniffers bump per record). Registry.Counter is a
+// lock-guarded map lookup; resolving once per SetTelemetry keeps the
+// hot path to plain atomic adds.
+type storeCounters struct {
+	tel          *telemetry.Registry
+	observations *telemetry.Counter
+	weighted     *telemetry.Counter
+	established  *telemetry.Counter
+	records      *telemetry.Counter
+	poisoned     *telemetry.Counter
+}
+
+func newStoreCounters(tel *telemetry.Registry) *storeCounters {
+	return &storeCounters{
+		tel:          tel,
+		observations: tel.Counter("capture.observations"),
+		weighted:     tel.Counter("capture.weighted_conns"),
+		established:  tel.Counter("capture.observations.established"),
+		records:      tel.Counter("capture.records"),
+		poisoned:     tel.Counter("capture.streams.poisoned"),
+	}
+}
+
 type sortedSnapshot struct {
 	gen int64
 	obs []*Observation
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{} }
+func NewStore() *Store {
+	s := &Store{}
+	s.hot.Store(newStoreCounters(nil))
+	return s
+}
 
 // SetTelemetry attaches a metrics registry; the store then counts
 // observations, revocation events and export throughput. A nil
@@ -140,6 +173,7 @@ func (s *Store) SetTelemetry(r *telemetry.Registry) {
 	s.mu.Lock()
 	s.tel = r
 	s.mu.Unlock()
+	s.hot.Store(newStoreCounters(r))
 }
 
 // Telemetry returns the attached registry (possibly nil; nil registries
@@ -162,29 +196,106 @@ func shardFor(device string) int {
 
 // Add appends an observation.
 func (s *Store) Add(o *Observation) {
-	if o.Weight <= 0 {
-		o.Weight = 1
-	}
-	o.Month = clock.MonthOf(o.Time)
+	hot := s.hot.Load()
+	s.prepare(o, hot)
 	sh := &s.shards[shardFor(o.Device)]
 	sh.mu.Lock()
 	sh.obs = append(sh.obs, o)
 	sh.mu.Unlock()
 	s.count.Add(1)
 	s.gen.Add(1)
+}
 
-	tel := s.Telemetry()
-	tel.Counter("capture.observations").Inc()
-	tel.Counter("capture.weighted_conns").Add(int64(o.Weight))
+// AddAll appends a batch of observations, hoisting the device-shard
+// hash out of the per-observation path: consecutive observations for
+// the same device (the natural shape of restore streams and worker
+// buffers) hash once, and each touched shard lock is taken once per
+// run of same-shard observations instead of once per observation.
+func (s *Store) AddAll(obs []*Observation) {
+	if len(obs) == 0 {
+		return
+	}
+	hot := s.hot.Load()
+	lastDevice := ""
+	shard := -1
+	start := 0
+	flush := func(end int) {
+		if shard < 0 || start == end {
+			return
+		}
+		sh := &s.shards[shard]
+		sh.mu.Lock()
+		sh.obs = append(sh.obs, obs[start:end]...)
+		sh.mu.Unlock()
+	}
+	for i, o := range obs {
+		s.prepare(o, hot)
+		if o.Device != lastDevice || shard < 0 {
+			next := shardFor(o.Device)
+			if next != shard {
+				flush(i)
+				shard, start = next, i
+			}
+			lastDevice = o.Device
+		}
+	}
+	flush(len(obs))
+	s.count.Add(int64(len(obs)))
+	s.gen.Add(int64(len(obs)))
+}
+
+// prepare normalises an observation and counts it.
+func (s *Store) prepare(o *Observation, hot *storeCounters) {
+	if o.Weight <= 0 {
+		o.Weight = 1
+	}
+	o.Month = clock.MonthOf(o.Time)
+	hot.observations.Inc()
+	hot.weighted.Add(int64(o.Weight))
 	if o.Established {
-		tel.Counter("capture.observations.established").Inc()
+		hot.established.Inc()
 	}
 	if o.ClientAlert != nil {
-		tel.Counter("capture.alerts.client." + o.ClientAlert.Description.String()).Inc()
+		hot.tel.Counter("capture.alerts.client." + o.ClientAlert.Description.String()).Inc()
 	}
 	if o.ServerAlert != nil {
-		tel.Counter("capture.alerts.server." + o.ServerAlert.Description.String()).Inc()
+		hot.tel.Counter("capture.alerts.server." + o.ServerAlert.Description.String()).Inc()
 	}
+}
+
+// WorkerBuffer is a lock-free observation sink owned by one worker
+// goroutine. During a parallel phase each worker publishes into its own
+// buffer (no shard locks, no cross-worker cache traffic); at the phase
+// barrier Flush batches the buffered observations into the shared store
+// via AddAll. Read-side accessors present observations in canonical
+// order regardless of arrival, so buffered and direct publishes yield
+// byte-identical downstream artifacts.
+type WorkerBuffer struct {
+	store *Store
+	obs   []*Observation
+}
+
+// NewWorkerBuffer returns an empty buffer publishing into s.
+func (s *Store) NewWorkerBuffer() *WorkerBuffer {
+	return &WorkerBuffer{store: s}
+}
+
+// Add buffers an observation. Only the owning worker may call it.
+func (b *WorkerBuffer) Add(o *Observation) {
+	b.obs = append(b.obs, o)
+}
+
+// Len reports the number of buffered (unflushed) observations.
+func (b *WorkerBuffer) Len() int { return len(b.obs) }
+
+// Flush publishes the buffered observations into the store and empties
+// the buffer. Call at a phase barrier, after the collector's WaitIdle.
+func (b *WorkerBuffer) Flush() {
+	if len(b.obs) == 0 {
+		return
+	}
+	b.store.AddAll(b.obs)
+	b.obs = b.obs[:0]
 }
 
 // All returns every observation in canonical order. The returned slice
@@ -248,6 +359,13 @@ type Collector struct {
 	mu         sync.Mutex
 	nextWeight map[string]int // "src->host:port" -> weight
 
+	// bufMu guards buffers, the per-device worker-buffer bindings. A
+	// bound device's sniffers publish into the binding buffer instead of
+	// the shared store; devices are dispatched to exactly one worker, so
+	// the buffer sees only its owner's goroutine.
+	bufMu   sync.RWMutex
+	buffers map[string]*WorkerBuffer
+
 	wg      sync.WaitGroup
 	created atomic.Int64
 	closed  atomic.Int64
@@ -302,6 +420,37 @@ func (c *Collector) WillDial(src, host string, port int, weight int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextWeight[weightKey(src, host, port)] = weight
+}
+
+// BindDevice routes the device's future publishes into b (nil unbinds).
+// The caller must guarantee the device's connections are driven — and
+// closed — by the goroutine that owns b, which is exactly the engine's
+// device-is-the-unit-of-dispatch contract.
+func (c *Collector) BindDevice(device string, b *WorkerBuffer) {
+	c.bufMu.Lock()
+	defer c.bufMu.Unlock()
+	if b == nil {
+		delete(c.buffers, device)
+		return
+	}
+	if c.buffers == nil {
+		c.buffers = make(map[string]*WorkerBuffer)
+	}
+	c.buffers[device] = b
+}
+
+// UnbindAll drops every device-buffer binding (the phase-barrier reset).
+func (c *Collector) UnbindAll() {
+	c.bufMu.Lock()
+	defer c.bufMu.Unlock()
+	c.buffers = nil
+}
+
+// bufferFor returns the worker buffer bound to device, or nil.
+func (c *Collector) bufferFor(device string) *WorkerBuffer {
+	c.bufMu.RLock()
+	defer c.bufMu.RUnlock()
+	return c.buffers[device]
 }
 
 func (c *Collector) takeWeight(src, host string, port int) int {

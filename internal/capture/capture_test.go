@@ -182,6 +182,17 @@ func TestSnifferFailedHandshakeCapturesAlert(t *testing.T) {
 	}
 }
 
+// feedAll drives the assembler and collects emitted records, copying
+// each transient payload view so assertions can outlive the emit call.
+func feedAll(ra *recordAssembler, p []byte) []wire.Record {
+	var out []wire.Record
+	ra.feed(p, func(rec wire.Record) {
+		rec.Payload = append([]byte(nil), rec.Payload...)
+		out = append(out, rec)
+	})
+	return out
+}
+
 func TestRecordAssemblerFragmentation(t *testing.T) {
 	// A record delivered byte by byte must still reassemble.
 	var ra recordAssembler
@@ -191,7 +202,7 @@ func TestRecordAssemblerFragmentation(t *testing.T) {
 	raw := buf.Bytes()
 	var got []wire.Record
 	for _, b := range raw {
-		got = append(got, ra.feed([]byte{b})...)
+		got = append(got, feedAll(&ra, []byte{b})...)
 	}
 	if len(got) != 1 || string(got[0].Payload) != "hello world" {
 		t.Fatalf("reassembly failed: %v", got)
@@ -203,7 +214,7 @@ func TestRecordAssemblerCoalesced(t *testing.T) {
 	wire.WriteRecord(&buf, wire.Record{Type: wire.TypeAlert, Version: ciphers.TLS12, Payload: []byte{1, 2}})
 	wire.WriteRecord(&buf, wire.Record{Type: wire.TypeHandshake, Version: ciphers.TLS12, Payload: []byte{3}})
 	var ra recordAssembler
-	got := ra.feed(buf.Bytes())
+	got := feedAll(&ra, buf.Bytes())
 	if len(got) != 2 || got[0].Type != wire.TypeAlert || got[1].Type != wire.TypeHandshake {
 		t.Fatalf("coalesced parse = %v", got)
 	}
@@ -212,11 +223,11 @@ func TestRecordAssemblerCoalesced(t *testing.T) {
 func TestRecordAssemblerCorruptStream(t *testing.T) {
 	var ra recordAssembler
 	// Length field beyond the cap poisons the direction.
-	got := ra.feed([]byte{22, 3, 3, 0xff, 0xff, 0, 0})
+	got := feedAll(&ra, []byte{22, 3, 3, 0xff, 0xff, 0, 0})
 	if len(got) != 0 {
 		t.Fatalf("corrupt stream produced records: %v", got)
 	}
-	if len(ra.feed([]byte{22, 3, 3, 0, 0})) != 0 {
+	if len(feedAll(&ra, []byte{22, 3, 3, 0, 0})) != 0 {
 		t.Fatal("poisoned assembler kept parsing")
 	}
 }
@@ -338,5 +349,70 @@ func TestWaitIdlePatientExhausts(t *testing.T) {
 	defer m.CloseMirror()
 	if err := col.WaitIdlePatient(time.Millisecond, 2); !errors.Is(err, ErrCaptureLagging) {
 		t.Fatalf("WaitIdlePatient = %v, want ErrCaptureLagging", err)
+	}
+}
+
+// TestWorkerBufferMergeOrder pins the per-worker-buffer publish path
+// against the original sharded-store path: distributing the same
+// observations across worker buffers (device-affine, as the traffic
+// generator does) and flushing at the barrier must yield exactly the
+// sequence the old per-observation Add path produced — at parallelism 1
+// and 8.
+func TestWorkerBufferMergeOrder(t *testing.T) {
+	// A mixed workload: many devices, interleaved months, duplicate
+	// timestamps, and ties that exercise every canonical sort key.
+	build := func() []*Observation {
+		var obs []*Observation
+		for i := 0; i < 240; i++ {
+			dev := "dev-" + string(rune('a'+i%12))
+			obs = append(obs, &Observation{
+				Device:            dev,
+				Host:              "host-" + string(rune('a'+i%5)) + ".example.com",
+				Port:              443 + i%3,
+				Time:              captureEpoch.AddDate(0, i%4, i%7).Add(time.Duration(i%9) * time.Minute),
+				Weight:            i%6 + 1,
+				NegotiatedVersion: ciphers.TLS12,
+			})
+		}
+		return obs
+	}
+
+	direct := NewStore()
+	for _, o := range build() {
+		direct.Add(o)
+	}
+	want := direct.All()
+
+	for _, workers := range []int{1, 8} {
+		buffered := NewStore()
+		bufs := make([]*WorkerBuffer, workers)
+		for w := range bufs {
+			bufs[w] = buffered.NewWorkerBuffer()
+		}
+		// Device-affine distribution, mirroring the traffic generator:
+		// one device's observations always land in one worker's buffer.
+		for _, o := range build() {
+			bufs[shardFor(o.Device)%workers].Add(o)
+		}
+		for _, b := range bufs {
+			b.Flush()
+			if b.Len() != 0 {
+				t.Fatalf("worker buffer not empty after Flush: %d", b.Len())
+			}
+		}
+		got := buffered.All()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d observations, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Device != want[i].Device || got[i].Host != want[i].Host ||
+				got[i].Port != want[i].Port || !got[i].Time.Equal(want[i].Time) ||
+				got[i].Weight != want[i].Weight || got[i].Month != want[i].Month {
+				t.Errorf("workers=%d: observation %d differs:\n got %+v\nwant %+v", workers, i, *got[i], *want[i])
+			}
+		}
+		if buffered.TotalWeight() != direct.TotalWeight() {
+			t.Errorf("workers=%d: total weight %d, want %d", workers, buffered.TotalWeight(), direct.TotalWeight())
+		}
 	}
 }

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/netem"
-	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -15,7 +14,7 @@ import (
 // deliver whatever chunks the transport produced.
 type sniffer struct {
 	collector *Collector
-	tel       *telemetry.Registry
+	hot       *storeCounters
 	meta      netem.ConnMeta
 
 	mu        sync.Mutex
@@ -33,7 +32,7 @@ type sniffer struct {
 func newSniffer(c *Collector, meta netem.ConnMeta) *sniffer {
 	return &sniffer{
 		collector: c,
-		tel:       c.Store.Telemetry(),
+		hot:       c.Store.hot.Load(),
 		meta:      meta,
 		obs: &Observation{
 			Device: meta.SrcHost,
@@ -48,12 +47,10 @@ func newSniffer(c *Collector, meta netem.ConnMeta) *sniffer {
 func (s *sniffer) ClientBytes(p []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, rec := range s.c2s.feed(p) {
-		s.onRecord(rec, true)
-	}
+	s.c2s.feed(p, func(rec wire.Record) { s.onRecord(rec, true) })
 	if s.c2s.dead && !s.poisonedC2S {
 		s.poisonedC2S = true
-		s.tel.Counter("capture.streams.poisoned").Inc()
+		s.hot.poisoned.Inc()
 	}
 }
 
@@ -61,12 +58,10 @@ func (s *sniffer) ClientBytes(p []byte) {
 func (s *sniffer) ServerBytes(p []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, rec := range s.s2c.feed(p) {
-		s.onRecord(rec, false)
-	}
+	s.s2c.feed(p, func(rec wire.Record) { s.onRecord(rec, false) })
 	if s.s2c.dead && !s.poisonedS2C {
 		s.poisonedS2C = true
-		s.tel.Counter("capture.streams.poisoned").Inc()
+		s.hot.poisoned.Inc()
 	}
 }
 
@@ -83,13 +78,17 @@ func (s *sniffer) CloseMirror() {
 	// deterministically the attempt's last child.
 	wsp := s.meta.Trace.Child("capture_write", s.meta.SrcHost+"->"+s.meta.DstHost)
 	s.obs.Weight = s.collector.takeWeight(s.meta.SrcHost, s.meta.DstHost, s.meta.DstPort)
-	s.collector.Store.Add(s.obs)
+	if b := s.collector.bufferFor(s.meta.SrcHost); b != nil {
+		b.Add(s.obs)
+	} else {
+		s.collector.Store.Add(s.obs)
+	}
 	wsp.End("ok")
 }
 
 // onRecord dissects one reassembled record.
 func (s *sniffer) onRecord(rec wire.Record, fromClient bool) {
-	s.tel.Counter("capture.records").Inc()
+	s.hot.records.Inc()
 	switch rec.Type {
 	case wire.TypeHandshake:
 		rest := rec.Payload
@@ -162,33 +161,36 @@ type recordAssembler struct {
 	dead bool
 }
 
-// feed appends bytes and returns all complete records.
-func (a *recordAssembler) feed(p []byte) []wire.Record {
+// feed appends bytes and calls emit with each complete record. The
+// record's Payload is a view into the assembler's buffer, valid only
+// for the duration of the emit call: the wire parsers copy whatever
+// they retain, and the sniffer consumes records synchronously, so the
+// hot path avoids one payload copy (and one records-slice allocation)
+// per mirrored chunk.
+func (a *recordAssembler) feed(p []byte, emit func(wire.Record)) {
 	if a.dead {
-		return nil
+		return
 	}
 	a.buf = append(a.buf, p...)
-	var out []wire.Record
 	for {
 		if len(a.buf) < 5 {
-			return out
+			return
 		}
 		n := int(a.buf[3])<<8 | int(a.buf[4])
 		if n > wire.MaxRecordPayload {
 			// Corrupt stream: stop parsing this direction.
 			a.buf = nil
 			a.dead = true
-			return out
+			return
 		}
 		if len(a.buf) < 5+n {
-			return out
+			return
 		}
-		rec := wire.Record{
+		emit(wire.Record{
 			Type:    wire.ContentType(a.buf[0]),
 			Version: wire.RecordVersion(a.buf[1], a.buf[2]),
-			Payload: append([]byte(nil), a.buf[5:5+n]...),
-		}
+			Payload: a.buf[5 : 5+n : 5+n],
+		})
 		a.buf = a.buf[5+n:]
-		out = append(out, rec)
 	}
 }

@@ -21,6 +21,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -33,7 +36,15 @@ type Name struct {
 
 // String renders the name in the conventional slash form.
 func (n Name) String() string {
-	return fmt.Sprintf("/C=%s/O=%s/CN=%s", n.Country, n.Organization, n.CommonName)
+	var b strings.Builder
+	b.Grow(len("/C=/O=/CN=") + len(n.Country) + len(n.Organization) + len(n.CommonName))
+	b.WriteString("/C=")
+	b.WriteString(n.Country)
+	b.WriteString("/O=")
+	b.WriteString(n.Organization)
+	b.WriteString("/CN=")
+	b.WriteString(n.CommonName)
+	return b.String()
 }
 
 // Equal reports whether two names match exactly (the comparison chain
@@ -80,11 +91,33 @@ type Certificate struct {
 	// fields instead of serving stale bytes.
 	tbs  []byte
 	self *Certificate
+
+	// fingerprint, subjectKey and issuerStr cache the derived identity
+	// strings under the same self-guard as tbs: these sit on every
+	// chain-verification and root-store-lookup hot path, and
+	// recomputing them (a SHA-256 plus several formatted strings per
+	// call) dominated the study engine's allocation profile.
+	fingerprint string
+	subjectKey  string
+	issuerStr   string
+
+	// sigMemo caches CheckSignatureFrom outcomes per parent
+	// certificate. Signature verification is a pure function of two
+	// immutable (sealed) certificates, so the memo is sound; like the
+	// other caches it is only consulted when self == c. Keys are the
+	// parent's pointer identity — valid because sealed certificates are
+	// never mutated. Held by pointer (allocated in seal) so a shallow
+	// certificate copy — which the corruption tests make deliberately —
+	// copies a reference, not the map's internal locks.
+	sigMemo *sync.Map // *Certificate -> error
 }
 
 // Fingerprint returns the SHA-256 hash of the full certificate encoding,
 // rendered as hex. It identifies a certificate uniquely, including its key.
 func (c *Certificate) Fingerprint() string {
+	if c.fingerprint != "" && c.self == c {
+		return c.fingerprint
+	}
 	sum := sha256.Sum256(c.Marshal())
 	return hex.EncodeToString(sum[:])
 }
@@ -93,7 +126,37 @@ func (c *Certificate) Fingerprint() string {
 // subject name plus serial number. Spoofed certificates share this key
 // with the certificate they imitate even though their Fingerprint differs.
 func (c *Certificate) SubjectKey() string {
-	return fmt.Sprintf("%s#%d", c.Subject, c.SerialNumber)
+	if c.subjectKey != "" && c.self == c {
+		return c.subjectKey
+	}
+	return subjectKeyOf(c.Subject, c.SerialNumber)
+}
+
+func subjectKeyOf(subject Name, serial uint64) string {
+	return subject.String() + "#" + strconv.FormatUint(serial, 10)
+}
+
+// issuerString returns Issuer.String(), cached on sealed certificates;
+// it is the chain-building lookup key and runs once per link per
+// verification walk.
+func (c *Certificate) issuerString() string {
+	if c.issuerStr != "" && c.self == c {
+		return c.issuerStr
+	}
+	return c.Issuer.String()
+}
+
+// seal finalises a constructed (or parsed) certificate: it records the
+// self-guard and precomputes the derived identity strings so the hot
+// paths never re-derive them. Callers must have filled every signed
+// field and the Signature first.
+func (c *Certificate) seal() {
+	c.self = c
+	c.sigMemo = &sync.Map{}
+	sum := sha256.Sum256(c.Marshal())
+	c.fingerprint = hex.EncodeToString(sum[:])
+	c.subjectKey = subjectKeyOf(c.Subject, c.SerialNumber)
+	c.issuerStr = c.Issuer.String()
 }
 
 // SelfSigned reports whether subject and issuer match (the structural
@@ -105,8 +168,26 @@ func (c *Certificate) ValidAt(t time.Time) bool {
 	return !t.Before(c.NotBefore) && !t.After(c.NotAfter)
 }
 
-// CheckSignatureFrom verifies that parent's key signed c.
+// CheckSignatureFrom verifies that parent's key signed c. The outcome
+// is memoized per (c, parent) pair when both certificates are sealed:
+// verification is a pure function of two immutable inputs, and the
+// study re-validates the same links every simulated month.
 func (c *Certificate) CheckSignatureFrom(parent *Certificate) error {
+	memoizable := c.self == c && parent.self == parent && c.sigMemo != nil
+	if memoizable {
+		if v, ok := c.sigMemo.Load(parent); ok {
+			err, _ := v.(error)
+			return err
+		}
+	}
+	err := c.checkSignatureFrom(parent)
+	if memoizable {
+		c.sigMemo.Store(parent, err)
+	}
+	return err
+}
+
+func (c *Certificate) checkSignatureFrom(parent *Certificate) error {
 	if len(parent.PublicKey) != ed25519.PublicKeySize {
 		return fmt.Errorf("certs: parent %s has invalid public key", parent.Subject)
 	}
@@ -229,8 +310,9 @@ func NewRootCA(subject Name, serial uint64, notBefore, notAfter time.Time, keySe
 		BasicConstraintsValid: true,
 		PublicKey:             pub,
 	}
-	cert.tbs, cert.self = cert.encodeTBS(), cert
+	cert.tbs = cert.encodeTBS()
 	cert.Signature = ed25519.Sign(priv, cert.tbs)
+	cert.seal()
 	return KeyPair{Cert: cert, Key: priv}
 }
 
@@ -253,8 +335,9 @@ func (issuer KeyPair) Issue(tmpl Template, keySeed string) KeyPair {
 		MustStaple:            tmpl.MustStaple,
 		PublicKey:             pub,
 	}
-	cert.tbs, cert.self = cert.encodeTBS(), cert
+	cert.tbs = cert.encodeTBS()
 	cert.Signature = ed25519.Sign(issuer.Key, cert.tbs)
+	cert.seal()
 	return KeyPair{Cert: cert, Key: priv}
 }
 
@@ -276,8 +359,9 @@ func Spoof(target *Certificate, keySeed string) KeyPair {
 		BasicConstraintsValid: true,
 		PublicKey:             pub,
 	}
-	cert.tbs, cert.self = cert.encodeTBS(), cert
+	cert.tbs = cert.encodeTBS()
 	cert.Signature = ed25519.Sign(priv, cert.tbs)
+	cert.seal()
 	return KeyPair{Cert: cert, Key: priv}
 }
 
@@ -363,7 +447,7 @@ func Parse(data []byte) (*Certificate, error) {
 	// The wire bytes are the canonical encoding: everything before the
 	// signature's length prefix is the TBS section.
 	c.tbs = append([]byte(nil), data[:len(data)-2-len(c.Signature)]...)
-	c.self = c
+	c.seal()
 	return c, nil
 }
 

@@ -272,7 +272,7 @@ func verifyChain(chain []*Certificate, opts VerifyOptions) ([]*Certificate, erro
 	rest := chain[1:]
 	for {
 		// Does a trusted root claim the current cert's issuer name?
-		if roots := opts.Roots.FindBySubject(current.Issuer); len(roots) > 0 {
+		if roots := opts.Roots.bySubject[current.issuerString()]; len(roots) > 0 {
 			var sigErr error
 			for _, root := range roots {
 				if !opts.At.IsZero() && !root.ValidAt(opts.At) {

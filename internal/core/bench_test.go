@@ -89,6 +89,13 @@ func BenchmarkFaultInjection(b *testing.B) {
 
 var studyBenchOut = flag.String("study.benchout", "", "write the full-study benchmark comparison to this JSON file")
 
+// seedParallelAllocsPerOp is the parallel-study allocs/op pinned in the
+// BENCH_study.json committed by the growth seed (schema v1). The v2
+// schema reports the relative change against it so every later bench
+// run states its allocation progress explicitly; -0.30 means 30% fewer
+// allocations than the seed engine.
+const seedParallelAllocsPerOp = 5748986
+
 // benchEntry is one measured configuration in BENCH_study.json.
 type benchEntry struct {
 	NsPerOp     int64 `json:"ns_per_op"`
@@ -129,17 +136,22 @@ func TestEmitStudyBench(t *testing.T) {
 		// on a single core only the overlapped network waits pay off.
 		Speedup          float64 `json:"speedup"`
 		SpeedupNoLatency float64 `json:"speedup_no_latency"`
+		// AllocsDeltaVsSeed is (parallel allocs/op − seed) / seed: the
+		// relative allocation change against the committed seed engine.
+		// Negative means fewer allocations.
+		AllocsDeltaVsSeed float64 `json:"allocs_delta_vs_seed"`
 	}{
-		Schema:           "iotls/bench-study/v1",
-		Cores:            runtime.NumCPU(),
-		Parallelism:      benchParallelism,
-		DialDelayMS:      benchDialDelay.Milliseconds(),
-		Sequential:       entry(seq),
-		Parallel:         entry(par),
-		SeqLatency:       entry(seqLat),
-		ParLatency:       entry(parLat),
-		Speedup:          float64(seqLat.NsPerOp()) / float64(parLat.NsPerOp()),
-		SpeedupNoLatency: float64(seq.NsPerOp()) / float64(par.NsPerOp()),
+		Schema:            "iotls/bench-study/v2",
+		Cores:             runtime.NumCPU(),
+		Parallelism:       benchParallelism,
+		DialDelayMS:       benchDialDelay.Milliseconds(),
+		Sequential:        entry(seq),
+		Parallel:          entry(par),
+		SeqLatency:        entry(seqLat),
+		ParLatency:        entry(parLat),
+		Speedup:           float64(seqLat.NsPerOp()) / float64(parLat.NsPerOp()),
+		SpeedupNoLatency:  float64(seq.NsPerOp()) / float64(par.NsPerOp()),
+		AllocsDeltaVsSeed: float64(par.AllocsPerOp()-seedParallelAllocsPerOp) / float64(seedParallelAllocsPerOp),
 	}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

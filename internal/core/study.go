@@ -83,6 +83,11 @@ type Study struct {
 	workersOnce sync.Once
 	workers     int
 
+	// workerSet is the persistent worker pool RunAll threads through
+	// every phase (nil outside RunAll: individually-invoked phases fall
+	// back to per-call dispatch).
+	workerSet *pool.Workers
+
 	// tracer, when armed, records the study's causal span tree. The
 	// root is created lazily at the first phase; tracePhase holds the
 	// running phase's span (phases are strictly sequential).
@@ -214,6 +219,16 @@ func (s *Study) RunPassive() (*traffic.Stats, error) {
 	return s.RunPassiveWindow(device.StudyStart, device.StudyEnd)
 }
 
+// runSpans dispatches a phase's device batch: over the persistent
+// worker set inside RunAll, or a one-shot pool otherwise.
+func (s *Study) runSpans(items int, name string, detail func(int) string, fn func(worker, item int, sp *trace.Span)) {
+	if s.workerSet != nil {
+		s.workerSet.RunSpans(items, s.tracePhase, name, detail, fn)
+		return
+	}
+	pool.RunSpans(s.Workers(), items, s.tracePhase, name, detail, fn)
+}
+
 // RunPassiveWindow simulates the passive collection over a custom
 // month window (a cheap subset of RunPassive for smoke runs and the
 // metrics subcommand).
@@ -221,6 +236,7 @@ func (s *Study) RunPassiveWindow(from, to clock.Month) (*traffic.Stats, error) {
 	sp := s.phaseSpan("passive")
 	gen := traffic.New(s.Network, s.Registry, s.Collector, s.Clock)
 	gen.Parallelism = s.Workers()
+	gen.Pool = s.workerSet
 	gen.Stop = s.Interrupted
 	gen.Trace = s.tracePhase
 	stats, err := gen.Run(from, to)
@@ -254,7 +270,7 @@ func (s *Study) CaptureActiveSnapshot() (*capture.Store, error) {
 	// Each device's boot sequence base is fixed by its registry index,
 	// so its hello randoms are identical at any parallelism.
 	devs := s.Registry.ActiveDevices()
-	pool.RunSpans(s.Workers(), len(devs), s.tracePhase, "device",
+	s.runSpans(len(devs), "device",
 		func(i int) string { return devs[i].ID },
 		func(_, i int, dsp *trace.Span) {
 			driver.BootTraced(s.Network, devs[i], device.ActiveSnapshot, uint64(i)*100000, dsp)
@@ -274,7 +290,7 @@ func (s *Study) RunInterceptionSuite() []*mitm.InterceptionReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.InterceptionReport, len(devs))
-	pool.RunSpans(s.Workers(), len(devs), s.tracePhase, "device",
+	s.runSpans(len(devs), "device",
 		func(i int) string { return devs[i].ID },
 		func(_, i int, dsp *trace.Span) {
 			defer s.recoverDevice("interception", devs[i].ID, dsp, func() {
@@ -293,7 +309,7 @@ func (s *Study) RunDowngradeSuite() []*mitm.DowngradeReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.DowngradeReport, len(devs))
-	pool.RunSpans(s.Workers(), len(devs), s.tracePhase, "device",
+	s.runSpans(len(devs), "device",
 		func(i int) string { return devs[i].ID },
 		func(_, i int, dsp *trace.Span) {
 			defer s.recoverDevice("downgrade", devs[i].ID, dsp, func() {
@@ -334,7 +350,7 @@ func (s *Study) RunPassthroughSuite() []*mitm.PassthroughReport {
 	defer sp.End("ok")
 	devs := s.Registry.ActiveDevices()
 	out := make([]*mitm.PassthroughReport, len(devs))
-	pool.RunSpans(s.Workers(), len(devs), s.tracePhase, "device",
+	s.runSpans(len(devs), "device",
 		func(i int) string { return devs[i].ID },
 		func(_, i int, dsp *trace.Span) {
 			defer s.recoverDevice("passthrough", devs[i].ID, dsp, func() {
@@ -351,6 +367,7 @@ func (s *Study) RunProbe() (amenable []*probe.Report, candidates int, err error)
 	s.advanceToActiveWindow()
 	sp := s.phaseSpan("probe")
 	s.Prober.Parallelism = s.Workers()
+	s.Prober.Pool = s.workerSet
 	s.Prober.Trace = s.tracePhase
 	amenable, candidates, err = s.Prober.ExploreAll()
 	sp.EndErr(err)
@@ -401,6 +418,10 @@ type Report struct {
 func (s *Study) RunAll() (*Report, error) {
 	sp := s.phaseSpan("all")
 	defer func() { sp.End("done") }()
+	// One persistent worker set serves every phase: goroutine spawn is
+	// paid once per study, not once per month barrier and phase.
+	s.workerSet = pool.NewWorkers(s.Workers())
+	defer func() { s.workerSet.Close(); s.workerSet = nil }()
 	defer func() {
 		status := "ok"
 		if len(s.Degradations()) > 0 {

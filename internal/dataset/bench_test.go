@@ -15,6 +15,12 @@ import (
 
 var datasetBenchOut = flag.String("dataset.benchout", "", "write the dataset I/O benchmark to this JSON file")
 
+// seedCodecAllocsPerOp is the seed engine's combined BenchmarkWrite +
+// BenchmarkRead allocs/op (47753 + 98680, measured at the growth-seed
+// commit on this harness). Schema v2 reports the relative change
+// against it; -0.30 means 30% fewer codec allocations than the seed.
+const seedCodecAllocsPerOp = 47753 + 98680
+
 // studyDataset captures one full study into an in-memory dataset.
 func studyDataset(b testing.TB) *dataset.Dataset {
 	s := core.NewStudy()
@@ -141,13 +147,19 @@ func TestEmitDatasetBench(t *testing.T) {
 		return float64(streamBytes) / float64(r.NsPerOp()) * 1e9 / (1 << 20)
 	}
 	doc := struct {
-		Schema       string  `json:"schema"`
-		Cores        int     `json:"cores"`
-		StreamBytes  int64   `json:"stream_bytes"`
-		WriteNsPerOp int64   `json:"write_ns_per_op"`
-		ReadNsPerOp  int64   `json:"read_ns_per_op"`
-		WriteMBPerS  float64 `json:"write_mb_per_s"`
-		ReadMBPerS   float64 `json:"read_mb_per_s"`
+		Schema           string  `json:"schema"`
+		Cores            int     `json:"cores"`
+		StreamBytes      int64   `json:"stream_bytes"`
+		WriteNsPerOp     int64   `json:"write_ns_per_op"`
+		ReadNsPerOp      int64   `json:"read_ns_per_op"`
+		WriteMBPerS      float64 `json:"write_mb_per_s"`
+		ReadMBPerS       float64 `json:"read_mb_per_s"`
+		WriteAllocsPerOp int64   `json:"write_allocs_per_op"`
+		ReadAllocsPerOp  int64   `json:"read_allocs_per_op"`
+		// AllocsDeltaVsSeed is (write+read allocs/op − seed) / seed:
+		// the relative codec allocation change against the seed engine.
+		// Negative means fewer allocations.
+		AllocsDeltaVsSeed float64 `json:"allocs_delta_vs_seed"`
 		// ResimulateNsPerOp is simulate+render; AnalyzeNsPerOp is
 		// read+restore+render from disk. Speedup is their ratio — what
 		// the capture/analyze split saves on every re-analysis.
@@ -155,13 +167,16 @@ func TestEmitDatasetBench(t *testing.T) {
 		AnalyzeNsPerOp    int64   `json:"analyze_ns_per_op"`
 		Speedup           float64 `json:"speedup"`
 	}{
-		Schema:            "iotls/bench-dataset/v1",
+		Schema:            "iotls/bench-dataset/v2",
 		Cores:             runtime.NumCPU(),
 		StreamBytes:       streamBytes,
 		WriteNsPerOp:      writeRes.NsPerOp(),
 		ReadNsPerOp:       readRes.NsPerOp(),
 		WriteMBPerS:       mbps(writeRes),
 		ReadMBPerS:        mbps(readRes),
+		WriteAllocsPerOp:  writeRes.AllocsPerOp(),
+		ReadAllocsPerOp:   readRes.AllocsPerOp(),
+		AllocsDeltaVsSeed: float64(writeRes.AllocsPerOp()+readRes.AllocsPerOp()-seedCodecAllocsPerOp) / float64(seedCodecAllocsPerOp),
 		ResimulateNsPerOp: resim.NsPerOp(),
 		AnalyzeNsPerOp:    analyze.NsPerOp(),
 		Speedup:           float64(resim.NsPerOp()) / float64(analyze.NsPerOp()),

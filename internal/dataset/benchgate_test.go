@@ -1,0 +1,104 @@
+package dataset_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+var benchGateRoot = flag.String("dataset.benchgate", "", "repo root holding the committed BENCH_*.json files; enables the bench regression gate")
+
+// codecRegressionTolerance is how far below the committed throughput a
+// fresh measurement may fall before the gate fails. 10% absorbs normal
+// run-to-run noise; a real regression (a lost optimization, an
+// accidental copy on the hot path) lands far past it.
+const codecRegressionTolerance = 0.10
+
+// TestBenchGate is the performance regression gate (`make bench-gate`).
+// It fails if the committed BENCH_study.json reports the parallel
+// engine slower than sequential on the in-memory transport
+// (speedup_no_latency < 1.0), or if freshly measured codec throughput
+// regresses more than 10% against the committed BENCH_dataset.json.
+// It only runs when -dataset.benchgate points at the repo root, so the
+// default test suite stays fast and hardware-independent.
+func TestBenchGate(t *testing.T) {
+	if *benchGateRoot == "" {
+		t.Skip("set -dataset.benchgate to the repo root to run the bench gate")
+	}
+
+	var study struct {
+		Schema           string  `json:"schema"`
+		SpeedupNoLatency float64 `json:"speedup_no_latency"`
+	}
+	raw, err := os.ReadFile(filepath.Join(*benchGateRoot, "BENCH_study.json"))
+	if err != nil {
+		t.Fatalf("bench gate needs the committed study bench: %v", err)
+	}
+	if err := json.Unmarshal(raw, &study); err != nil {
+		t.Fatalf("BENCH_study.json: %v", err)
+	}
+	if study.SpeedupNoLatency < 1.0 {
+		t.Errorf("BENCH_study.json speedup_no_latency = %.3f, gate requires >= 1.0 (parallel engine must not be slower than sequential); re-run `make bench` after fixing the regression", study.SpeedupNoLatency)
+	}
+
+	var committed struct {
+		Schema      string  `json:"schema"`
+		StreamBytes int64   `json:"stream_bytes"`
+		WriteMBPerS float64 `json:"write_mb_per_s"`
+		ReadMBPerS  float64 `json:"read_mb_per_s"`
+	}
+	raw, err = os.ReadFile(filepath.Join(*benchGateRoot, "BENCH_dataset.json"))
+	if err != nil {
+		t.Fatalf("bench gate needs the committed dataset bench: %v", err)
+	}
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		t.Fatalf("BENCH_dataset.json: %v", err)
+	}
+
+	// Fresh codec measurement, same harness as TestEmitDatasetBench.
+	ds := studyDataset(t)
+	base := t.TempDir()
+	ref := filepath.Join(base, "ref")
+	if err := dataset.Write(ref, ds, dataset.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	streamBytes := datasetStreamBytes(t, ref)
+	n := 0
+	writeRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n++
+			if err := dataset.Write(filepath.Join(base, "w", strconv.Itoa(n)), ds, dataset.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	readRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.Read(ref, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mbps := func(r testing.BenchmarkResult) float64 {
+		if r.NsPerOp() == 0 {
+			return 0
+		}
+		return float64(streamBytes) / float64(r.NsPerOp()) * 1e9 / (1 << 20)
+	}
+	check := func(name string, fresh, committed float64) {
+		floor := committed * (1 - codecRegressionTolerance)
+		if fresh < floor {
+			t.Errorf("codec %s throughput %.1f MB/s regressed more than %.0f%% below committed %.1f MB/s; investigate, then re-run `make bench` if the new baseline is intended",
+				name, fresh, codecRegressionTolerance*100, committed)
+		} else {
+			t.Logf("codec %s: fresh %.1f MB/s vs committed %.1f MB/s (floor %.1f)", name, fresh, committed, floor)
+		}
+	}
+	check("write", mbps(writeRes), committed.WriteMBPerS)
+	check("read", mbps(readRes), committed.ReadMBPerS)
+}

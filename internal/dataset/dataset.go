@@ -250,9 +250,7 @@ func sortByDevice[T any](items []T, id func(T) string, rank func(string) (int, s
 func Restore(s *core.Study, ds *Dataset) (*core.Report, error) {
 	store := capture.NewStore()
 	store.SetTelemetry(s.Telemetry)
-	for _, o := range ds.Observations {
-		store.Add(o)
-	}
+	store.AddAll(ds.Observations)
 	for _, ev := range ds.Revocations {
 		store.AddRevocation(ev)
 	}
@@ -290,9 +288,7 @@ func Restore(s *core.Study, ds *Dataset) (*core.Report, error) {
 	if ds.HasActive {
 		active := capture.NewStore()
 		active.SetTelemetry(s.Telemetry)
-		for _, o := range ds.ActiveObservations {
-			active.Add(o)
-		}
+		active.AddAll(ds.ActiveObservations)
 		rep.ActiveStore = active
 		rep.Figure5 = analysis.BuildFigure5(active, device.ReferenceDB(), nameOf)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/mitm"
+	"repro/internal/pool"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -96,8 +97,10 @@ done:
 }
 
 // Read loads a dataset directory into memory, decoding every record
-// and verifying every shard's integrity. Records are decoded one at a
-// time off the stream; only the decoded dataset is held.
+// and verifying every shard's integrity. Shards decode in parallel —
+// each into its own partial dataset — and the partials are merged in
+// sorted-manifest order, so the in-memory record order is identical to
+// a sequential scan at any parallelism.
 func Read(dir string, tel *telemetry.Registry) (ds *Dataset, err error) {
 	span := tel.StartSpan("dataset.read")
 	defer func() { span.EndErr(err) }()
@@ -105,21 +108,57 @@ func Read(dir string, tel *telemetry.Registry) (ds *Dataset, err error) {
 	if err != nil {
 		return nil, err
 	}
-	ds = &Dataset{Runs: append([]Run(nil), m.Runs...), HasActive: m.HasActive}
 	sortShards(m.Shards)
-	for _, sh := range m.Shards {
-		sh := sh
+	shardCtr := tel.Counter("dataset.read.shards")
+	recordCtr := tel.Counter("dataset.read.records")
+	byteCtr := tel.Counter("dataset.read.bytes")
+	parts := make([]*Dataset, len(m.Shards))
+	errs := make([]error, len(m.Shards))
+	pool.Run(0, len(m.Shards), func(_, i int) {
+		sh := m.Shards[i]
+		part := &Dataset{}
+		var records, bytes int64
 		err := scanShard(dir, m.Gzip, sh, func(payload []byte) error {
-			tel.Counter("dataset.read.records").Inc()
-			tel.Counter("dataset.read.bytes").Add(int64(len(payload)))
-			return ds.decodeInto(sh, payload)
+			records++
+			bytes += int64(len(payload))
+			return part.decodeInto(sh, payload)
 		})
+		recordCtr.Add(records)
+		byteCtr.Add(bytes)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		shardCtr.Inc()
+		parts[i] = part
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		tel.Counter("dataset.read.shards").Inc()
+	}
+	ds = &Dataset{Runs: append([]Run(nil), m.Runs...), HasActive: m.HasActive}
+	for _, part := range parts {
+		ds.Observations = append(ds.Observations, part.Observations...)
+		ds.Revocations = append(ds.Revocations, part.Revocations...)
+		ds.ActiveObservations = append(ds.ActiveObservations, part.ActiveObservations...)
+		ds.ProbeReports = append(ds.ProbeReports, part.ProbeReports...)
+		ds.Downgrades = append(ds.Downgrades, part.Downgrades...)
+		ds.OldVersions = append(ds.OldVersions, part.OldVersions...)
+		ds.Interceptions = append(ds.Interceptions, part.Interceptions...)
+		ds.Passthroughs = append(ds.Passthroughs, part.Passthroughs...)
+		ds.Degradations = append(ds.Degradations, part.Degradations...)
+		ds.TraceSpans = append(ds.TraceSpans, part.TraceSpans...)
 	}
 	return ds, nil
+}
+
+// allowedKinds maps each shard kind to the record kinds it may hold.
+var allowedKinds = map[string][]byte{
+	KindPassive: {recObservation, recRevocation},
+	KindActive:  {recActiveObservation},
+	KindAux:     {recProbeReport, recDowngrade, recOldVersion, recInterception, recPassthrough, recDegradation},
+	KindTrace:   {recTraceSpan},
 }
 
 // decodeInto decodes one record payload into the dataset, enforcing
@@ -129,14 +168,8 @@ func (ds *Dataset) decodeInto(sh ShardInfo, payload []byte) error {
 		return corruptf("shard %s: empty record", sh.File)
 	}
 	kind := payload[0]
-	allowed := map[string][]byte{
-		KindPassive: {recObservation, recRevocation},
-		KindActive:  {recActiveObservation},
-		KindAux:     {recProbeReport, recDowngrade, recOldVersion, recInterception, recPassthrough, recDegradation},
-		KindTrace:   {recTraceSpan},
-	}[sh.Kind]
 	ok := false
-	for _, k := range allowed {
+	for _, k := range allowedKinds[sh.Kind] {
 		if kind == k {
 			ok = true
 		}
@@ -144,10 +177,10 @@ func (ds *Dataset) decodeInto(sh ShardInfo, payload []byte) error {
 	if !ok {
 		return corruptf("shard %s: record kind %d not allowed in %s shard", sh.File, kind, sh.Kind)
 	}
-	// The codecs consume an independent copy of the body: scanShard
-	// reuses the payload buffer, and decoded records (device IDs,
-	// hostnames) must not alias it.
-	body := &dec{b: append([]byte(nil), payload[1:]...)}
+	// The dec reads payload in place; scanShard reuses the buffer across
+	// records, so every retained field (dec.str, dec.u8s, ...) copies out
+	// of it rather than aliasing.
+	body := &dec{b: payload[1:]}
 	var err error
 	switch kind {
 	case recObservation:

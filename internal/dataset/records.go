@@ -17,15 +17,15 @@ import (
 // Record kinds. The kind is the first byte of every record payload;
 // kinds are append-only across schema revisions of the same version.
 const (
-	recObservation       byte = 1 // passive shards
-	recRevocation        byte = 2 // passive shards
-	recActiveObservation byte = 3 // active shard
-	recProbeReport       byte = 4 // aux shard
-	recDowngrade         byte = 5 // aux shard
-	recOldVersion        byte = 6 // aux shard
-	recInterception      byte = 7 // aux shard
-	recPassthrough       byte = 8 // aux shard
-	recDegradation       byte = 9 // aux shard
+	recObservation       byte = 1  // passive shards
+	recRevocation        byte = 2  // passive shards
+	recActiveObservation byte = 3  // active shard
+	recProbeReport       byte = 4  // aux shard
+	recDowngrade         byte = 5  // aux shard
+	recOldVersion        byte = 6  // aux shard
+	recInterception      byte = 7  // aux shard
+	recPassthrough       byte = 8  // aux shard
+	recDegradation       byte = 9  // aux shard
 	recTraceSpan         byte = 10 // trace shard (format version 2)
 )
 
@@ -119,8 +119,13 @@ func u16ToExts(vs []uint16) []wire.ExtensionType {
 
 // encodeObservation serialises one observation (kind decides whether it
 // belongs to the passive months or the active snapshot).
-func encodeObservation(kind byte, o *capture.Observation) []byte {
-	e := &enc{b: make([]byte, 0, 128)}
+func encodeObservation(e *enc, kind byte, o *capture.Observation) {
+	// Cheap size pass: fixed fields are at most ~60 varint bytes; each
+	// u16 list element is at most 3.
+	e.grow(64 + len(o.Device) + len(o.Host) + len(o.SNI) +
+		3*(len(o.AdvertisedVersions)+len(o.AdvertisedSuites)+
+			len(o.Fingerprint.Suites)+len(o.Fingerprint.Extensions)+
+			len(o.Fingerprint.Groups)) + len(o.Fingerprint.PointFormats))
 	e.u8(kind)
 	e.str(o.Device)
 	e.str(o.Host)
@@ -165,7 +170,6 @@ func encodeObservation(kind byte, o *capture.Observation) []byte {
 	putAlert(e, o.ClientAlert)
 	putAlert(e, o.ServerAlert)
 	e.i64(int64(o.AppDataRecords))
-	return e.b
 }
 
 // decodeObservation is the inverse of encodeObservation; the caller has
@@ -207,14 +211,12 @@ func decodeObservation(d *dec) (*capture.Observation, error) {
 	return o, nil
 }
 
-func encodeRevocation(ev capture.RevocationEvent) []byte {
-	e := &enc{}
+func encodeRevocation(e *enc, ev capture.RevocationEvent) {
 	e.u8(recRevocation)
 	e.str(ev.Device)
 	e.str(ev.Host)
 	e.u8(uint8(ev.Kind))
 	e.i64(ev.Time.UnixNano())
-	return e.b
 }
 
 func decodeRevocation(d *dec) (capture.RevocationEvent, error) {
@@ -276,8 +278,7 @@ func getTrials(d *dec) []TrialRecord {
 	return out
 }
 
-func encodeProbeReport(r *ProbeRecord) []byte {
-	e := &enc{}
+func encodeProbeReport(e *enc, r *ProbeRecord) {
 	e.u8(recProbeReport)
 	e.str(r.Device)
 	e.boolean(r.Amenable)
@@ -285,7 +286,6 @@ func encodeProbeReport(r *ProbeRecord) []byte {
 	e.u8(uint8(r.UnknownCAAlert))
 	putTrials(e, r.Common)
 	putTrials(e, r.Deprecated)
-	return e.b
 }
 
 func decodeProbeReport(d *dec) (*ProbeRecord, error) {
@@ -299,8 +299,7 @@ func decodeProbeReport(d *dec) (*ProbeRecord, error) {
 	return r, d.finish()
 }
 
-func encodeDowngrade(r *mitm.DowngradeReport) []byte {
-	e := &enc{}
+func encodeDowngrade(e *enc, r *mitm.DowngradeReport) {
 	e.u8(recDowngrade)
 	e.str(r.Device)
 	e.boolean(r.OnFailed)
@@ -308,7 +307,6 @@ func encodeDowngrade(r *mitm.DowngradeReport) []byte {
 	e.i64(int64(r.DowngradedHosts))
 	e.i64(int64(r.TotalHosts))
 	e.str(r.Description)
-	return e.b
 }
 
 func decodeDowngrade(d *dec) (*mitm.DowngradeReport, error) {
@@ -322,13 +320,11 @@ func decodeDowngrade(d *dec) (*mitm.DowngradeReport, error) {
 	return r, d.finish()
 }
 
-func encodeOldVersion(r *mitm.OldVersionReport) []byte {
-	e := &enc{}
+func encodeOldVersion(e *enc, r *mitm.OldVersionReport) {
 	e.u8(recOldVersion)
 	e.str(r.Device)
 	e.boolean(r.TLS10OK)
 	e.boolean(r.TLS11OK)
-	return e.b
 }
 
 func decodeOldVersion(d *dec) (*mitm.OldVersionReport, error) {
@@ -339,8 +335,7 @@ func decodeOldVersion(d *dec) (*mitm.OldVersionReport, error) {
 	return r, d.finish()
 }
 
-func encodeInterception(r *mitm.InterceptionReport) []byte {
-	e := &enc{}
+func encodeInterception(e *enc, r *mitm.InterceptionReport) {
 	e.u8(recInterception)
 	e.str(r.Device)
 	e.i64(int64(r.TotalHosts))
@@ -369,7 +364,6 @@ func encodeInterception(r *mitm.InterceptionReport) []byte {
 			putAlert(e, h.ClientAlert)
 		}
 	}
-	return e.b
 }
 
 func decodeInterception(d *dec) (*mitm.InterceptionReport, error) {
@@ -400,14 +394,12 @@ func decodeInterception(d *dec) (*mitm.InterceptionReport, error) {
 	return r, d.finish()
 }
 
-func encodePassthrough(r *mitm.PassthroughReport) []byte {
-	e := &enc{}
+func encodePassthrough(e *enc, r *mitm.PassthroughReport) {
 	e.u8(recPassthrough)
 	e.str(r.Device)
 	e.strs(r.AttackHosts)
 	e.strs(r.PassthroughHosts)
 	e.strs(r.NewHosts)
-	return e.b
 }
 
 func decodePassthrough(d *dec) (*mitm.PassthroughReport, error) {
@@ -419,12 +411,10 @@ func decodePassthrough(d *dec) (*mitm.PassthroughReport, error) {
 	return r, d.finish()
 }
 
-func encodeDegradation(g core.Degradation) []byte {
-	e := &enc{}
+func encodeDegradation(e *enc, g core.Degradation) {
 	e.u8(recDegradation)
 	e.str(g.Phase)
 	e.str(g.Reason)
-	return e.b
 }
 
 func decodeDegradation(d *dec) (core.Degradation, error) {
@@ -434,8 +424,7 @@ func decodeDegradation(d *dec) (core.Degradation, error) {
 	return g, d.finish()
 }
 
-func encodeTraceSpan(r trace.SpanRecord) []byte {
-	e := &enc{}
+func encodeTraceSpan(e *enc, r trace.SpanRecord) {
 	e.u8(recTraceSpan)
 	e.u64(r.ID)
 	e.u64(r.Parent)
@@ -445,7 +434,6 @@ func encodeTraceSpan(r trace.SpanRecord) []byte {
 	e.str(r.Status)
 	e.i64(r.Start.UnixNano())
 	e.i64(r.End.UnixNano())
-	return e.b
 }
 
 func decodeTraceSpan(d *dec) (trace.SpanRecord, error) {

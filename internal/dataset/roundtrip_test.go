@@ -134,3 +134,56 @@ func TestWriterRefusesOverwrite(t *testing.T) {
 		t.Fatal("NewWriter over an existing dataset succeeded, want refusal")
 	}
 }
+
+// readDirFiles loads every regular file in dir keyed by name.
+func readDirFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = raw
+	}
+	return out
+}
+
+// TestPoolingByteIdenticalOutput pins that encode-buffer pooling is
+// invisible on disk: the same dataset written with pooled encoders and
+// with per-record fresh buffers produces byte-identical shard files and
+// manifests, in both the bulk and the streaming write paths.
+func TestPoolingByteIdenticalOutput(t *testing.T) {
+	t.Parallel()
+	s, rep := runFull(t, 8, nil)
+	ds := dataset.FromStudy(s, rep)
+	base := t.TempDir()
+
+	pooled := filepath.Join(base, "pooled")
+	fresh := filepath.Join(base, "fresh")
+	if err := dataset.Write(pooled, ds, dataset.Options{}); err != nil {
+		t.Fatalf("Write pooled: %v", err)
+	}
+	if err := dataset.Write(fresh, ds, dataset.Options{NoPooling: true}); err != nil {
+		t.Fatalf("Write unpooled: %v", err)
+	}
+
+	want := readDirFiles(t, pooled)
+	got := readDirFiles(t, fresh)
+	if len(got) != len(want) {
+		t.Fatalf("pooled wrote %d files, unpooled %d", len(want), len(got))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("unpooled run missing file %s", name)
+		}
+		if string(g) != string(w) {
+			t.Errorf("file %s differs between pooled and unpooled writes (%d vs %d bytes)", name, len(w), len(g))
+		}
+	}
+}

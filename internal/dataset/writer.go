@@ -15,6 +15,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/mitm"
+	"repro/internal/pool"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -27,6 +28,27 @@ type Options struct {
 	Gzip bool
 	// Telemetry receives dataset.* I/O counters and spans; nil is fine.
 	Telemetry *telemetry.Registry
+	// NoPooling disables encode-buffer reuse: every record is encoded
+	// into a fresh buffer. The written bytes are identical either way —
+	// the round-trip determinism test pins that — so the knob exists
+	// only for that test and for debugging aliasing suspicions.
+	NoPooling bool
+}
+
+// writeCounters caches the write-path telemetry handles; Registry
+// lookups are too heavy for once-per-record.
+type writeCounters struct {
+	shards  *telemetry.Counter
+	records *telemetry.Counter
+	bytes   *telemetry.Counter
+}
+
+func newWriteCounters(tel *telemetry.Registry) writeCounters {
+	return writeCounters{
+		shards:  tel.Counter("dataset.write.shards"),
+		records: tel.Counter("dataset.write.records"),
+		bytes:   tel.Counter("dataset.write.bytes"),
+	}
 }
 
 // Writer streams records into a dataset directory, one shard per
@@ -37,10 +59,18 @@ type Options struct {
 type Writer struct {
 	dir    string
 	opts   Options
+	ctrs   writeCounters
 	shards map[string]*shardWriter
 	runs   []Run
 	active bool
 	closed bool
+
+	// last caches the most recent (kind, month) → shard resolution:
+	// records arrive in long same-shard runs, so the common case skips
+	// the name build and map lookup entirely.
+	lastKind  string
+	lastMonth clock.Month
+	lastShard *shardWriter
 }
 
 // shardWriter frames records into one shard file. The CRC and byte
@@ -52,28 +82,72 @@ type shardWriter struct {
 	gz   *gzip.Writer
 	out  io.Writer
 	crc  hash.Hash32
+	ctrs writeCounters
 }
 
-// NewWriter creates the dataset directory (if needed) and prepares for
-// streaming. It refuses to overwrite an existing dataset.
-func NewWriter(dir string, opts Options) (*Writer, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("dataset: create %s: %w", dir, err)
+// newShardWriter opens one shard file for streaming.
+func newShardWriter(dir, name, kind, month string, gzipped bool, ctrs writeCounters) (*shardWriter, error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: create shard: %w", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
-		return nil, fmt.Errorf("dataset: %s already holds a dataset (refusing to overwrite)", dir)
+	sw := &shardWriter{
+		info: ShardInfo{File: name, Kind: kind, Month: month},
+		f:    f,
+		bw:   bufio.NewWriterSize(f, 1<<16),
+		crc:  crc32.NewIEEE(),
+		ctrs: ctrs,
 	}
-	return &Writer{dir: dir, opts: opts, shards: make(map[string]*shardWriter)}, nil
+	sw.out = sw.bw
+	if gzipped {
+		sw.gz = gzip.NewWriter(sw.bw)
+		sw.out = sw.gz
+	}
+	ctrs.shards.Inc()
+	return sw, nil
 }
 
-// AddRun records one capture run's provenance in the manifest.
-func (w *Writer) AddRun(r Run) { w.runs = append(w.runs, r) }
+// writeRecord frames one encoded payload: uvarint length prefix, then
+// the payload, both covered by the stream CRC. The prefix lives on the
+// stack, so framing allocates nothing.
+func (sw *shardWriter) writeRecord(payload []byte) error {
+	var prefix [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(prefix[:], uint64(len(payload)))
+	if _, err := sw.out.Write(prefix[:n]); err != nil {
+		return fmt.Errorf("dataset: write shard %s: %w", sw.info.File, err)
+	}
+	if _, err := sw.out.Write(payload); err != nil {
+		return fmt.Errorf("dataset: write shard %s: %w", sw.info.File, err)
+	}
+	sw.crc.Write(prefix[:n])
+	sw.crc.Write(payload)
+	frameLen := int64(n) + int64(len(payload))
+	sw.info.Records++
+	sw.info.Bytes += frameLen
+	sw.ctrs.records.Inc()
+	sw.ctrs.bytes.Add(frameLen)
+	return nil
+}
 
-// SetHasActive marks that an active snapshot was captured (even if it
-// produced zero observations).
-func (w *Writer) SetHasActive() { w.active = true }
+// finish flushes and closes the shard, sealing its CRC.
+func (sw *shardWriter) finish() error {
+	if sw.gz != nil {
+		if err := sw.gz.Close(); err != nil {
+			return fmt.Errorf("dataset: finish shard %s: %w", sw.info.File, err)
+		}
+	}
+	if err := sw.bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush shard %s: %w", sw.info.File, err)
+	}
+	if err := sw.f.Close(); err != nil {
+		return fmt.Errorf("dataset: close shard %s: %w", sw.info.File, err)
+	}
+	sw.info.CRC32 = sw.crc.Sum32()
+	return nil
+}
 
-func (w *Writer) shard(kind string, month clock.Month) (*shardWriter, error) {
+// shardName renders a shard's file name.
+func shardName(kind string, month clock.Month, gzipped bool) string {
 	var name string
 	switch kind {
 	case KindPassive:
@@ -85,32 +159,55 @@ func (w *Writer) shard(kind string, month clock.Month) (*shardWriter, error) {
 	default:
 		name = "aux.bin"
 	}
-	if w.opts.Gzip {
+	if gzipped {
 		name += ".gz"
 	}
-	if sw, ok := w.shards[name]; ok {
-		return sw, nil
+	return name
+}
+
+// NewWriter creates the dataset directory (if needed) and prepares for
+// streaming. It refuses to overwrite an existing dataset.
+func NewWriter(dir string, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: create %s: %w", dir, err)
 	}
-	f, err := os.Create(filepath.Join(w.dir, name))
-	if err != nil {
-		return nil, fmt.Errorf("dataset: create shard: %w", err)
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return nil, fmt.Errorf("dataset: %s already holds a dataset (refusing to overwrite)", dir)
 	}
-	sw := &shardWriter{
-		info: ShardInfo{File: name, Kind: kind},
-		f:    f,
-		bw:   bufio.NewWriter(f),
-		crc:  crc32.NewIEEE(),
+	return &Writer{
+		dir:    dir,
+		opts:   opts,
+		ctrs:   newWriteCounters(opts.Telemetry),
+		shards: make(map[string]*shardWriter),
+	}, nil
+}
+
+// AddRun records one capture run's provenance in the manifest.
+func (w *Writer) AddRun(r Run) { w.runs = append(w.runs, r) }
+
+// SetHasActive marks that an active snapshot was captured (even if it
+// produced zero observations).
+func (w *Writer) SetHasActive() { w.active = true }
+
+func (w *Writer) shard(kind string, month clock.Month) (*shardWriter, error) {
+	if w.lastShard != nil && kind == w.lastKind && month == w.lastMonth {
+		return w.lastShard, nil
 	}
-	if kind == KindPassive {
-		sw.info.Month = month.String()
+	name := shardName(kind, month, w.opts.Gzip)
+	sw, ok := w.shards[name]
+	if !ok {
+		monthStr := ""
+		if kind == KindPassive {
+			monthStr = month.String()
+		}
+		var err error
+		sw, err = newShardWriter(w.dir, name, kind, monthStr, w.opts.Gzip, w.ctrs)
+		if err != nil {
+			return nil, err
+		}
+		w.shards[name] = sw
 	}
-	sw.out = sw.bw
-	if w.opts.Gzip {
-		sw.gz = gzip.NewWriter(sw.bw)
-		sw.out = sw.gz
-	}
-	w.shards[name] = sw
-	w.opts.Telemetry.Counter("dataset.write.shards").Inc()
+	w.lastKind, w.lastMonth, w.lastShard = kind, month, sw
 	return sw, nil
 }
 
@@ -123,70 +220,95 @@ func (w *Writer) write(kind string, month clock.Month, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	frame := binary.AppendUvarint(nil, uint64(len(payload)))
-	frame = append(frame, payload...)
-	if _, err := sw.out.Write(frame); err != nil {
-		return fmt.Errorf("dataset: write shard %s: %w", sw.info.File, err)
-	}
-	sw.crc.Write(frame)
-	sw.info.Records++
-	sw.info.Bytes += int64(len(frame))
-	w.opts.Telemetry.Counter("dataset.write.records").Inc()
-	w.opts.Telemetry.Counter("dataset.write.bytes").Add(int64(len(frame)))
-	return nil
+	return sw.writeRecord(payload)
 }
 
 // Observation streams one passive handshake observation into its
 // month's shard.
 func (w *Writer) Observation(o *capture.Observation) error {
-	return w.write(KindPassive, o.Month, encodeObservation(recObservation, o))
+	e := getEnc(w.opts.NoPooling)
+	encodeObservation(e, recObservation, o)
+	err := w.write(KindPassive, o.Month, e.b)
+	putEnc(e, w.opts.NoPooling)
+	return err
 }
 
 // Revocation streams one revocation event into its month's shard.
 func (w *Writer) Revocation(ev capture.RevocationEvent) error {
-	return w.write(KindPassive, clock.MonthOf(ev.Time), encodeRevocation(ev))
+	e := getEnc(w.opts.NoPooling)
+	encodeRevocation(e, ev)
+	err := w.write(KindPassive, clock.MonthOf(ev.Time), e.b)
+	putEnc(e, w.opts.NoPooling)
+	return err
 }
 
 // ActiveObservation streams one active-snapshot observation.
 func (w *Writer) ActiveObservation(o *capture.Observation) error {
-	return w.write(KindActive, clock.Month{}, encodeObservation(recActiveObservation, o))
+	e := getEnc(w.opts.NoPooling)
+	encodeObservation(e, recActiveObservation, o)
+	err := w.write(KindActive, clock.Month{}, e.b)
+	putEnc(e, w.opts.NoPooling)
+	return err
+}
+
+// aux streams one already-encoded aux record.
+func (w *Writer) aux(e *enc) error {
+	err := w.write(KindAux, clock.Month{}, e.b)
+	putEnc(e, w.opts.NoPooling)
+	return err
 }
 
 // ProbeReport streams one root-store probe result.
 func (w *Writer) ProbeReport(r *ProbeRecord) error {
-	return w.write(KindAux, clock.Month{}, encodeProbeReport(r))
+	e := getEnc(w.opts.NoPooling)
+	encodeProbeReport(e, r)
+	return w.aux(e)
 }
 
 // Downgrade streams one version-downgrade suite report.
 func (w *Writer) Downgrade(r *mitm.DowngradeReport) error {
-	return w.write(KindAux, clock.Month{}, encodeDowngrade(r))
+	e := getEnc(w.opts.NoPooling)
+	encodeDowngrade(e, r)
+	return w.aux(e)
 }
 
 // OldVersion streams one old-version acceptance report.
 func (w *Writer) OldVersion(r *mitm.OldVersionReport) error {
-	return w.write(KindAux, clock.Month{}, encodeOldVersion(r))
+	e := getEnc(w.opts.NoPooling)
+	encodeOldVersion(e, r)
+	return w.aux(e)
 }
 
 // Interception streams one interception suite report.
 func (w *Writer) Interception(r *mitm.InterceptionReport) error {
-	return w.write(KindAux, clock.Month{}, encodeInterception(r))
+	e := getEnc(w.opts.NoPooling)
+	encodeInterception(e, r)
+	return w.aux(e)
 }
 
 // Passthrough streams one traffic-passthrough control report.
 func (w *Writer) Passthrough(r *mitm.PassthroughReport) error {
-	return w.write(KindAux, clock.Month{}, encodePassthrough(r))
+	e := getEnc(w.opts.NoPooling)
+	encodePassthrough(e, r)
+	return w.aux(e)
 }
 
 // Degradation streams one contained-incident log entry.
 func (w *Writer) Degradation(d core.Degradation) error {
-	return w.write(KindAux, clock.Month{}, encodeDegradation(d))
+	e := getEnc(w.opts.NoPooling)
+	encodeDegradation(e, d)
+	return w.aux(e)
 }
 
 // TraceSpan streams one causal trace span. Spans must be fed in
 // canonical (DFS) order for deterministic output; trace.Canonical
 // establishes it.
 func (w *Writer) TraceSpan(r trace.SpanRecord) error {
-	return w.write(KindTrace, clock.Month{}, encodeTraceSpan(r))
+	e := getEnc(w.opts.NoPooling)
+	encodeTraceSpan(e, r)
+	err := w.write(KindTrace, clock.Month{}, e.b)
+	putEnc(e, w.opts.NoPooling)
+	return err
 }
 
 // Close flushes every shard and writes the manifest. The Writer is
@@ -204,88 +326,192 @@ func (w *Writer) Close() error {
 		Runs:      w.runs,
 	}
 	for _, sw := range w.shards {
-		if sw.gz != nil {
-			if err := sw.gz.Close(); err != nil {
-				return fmt.Errorf("dataset: finish shard %s: %w", sw.info.File, err)
-			}
+		if err := sw.finish(); err != nil {
+			return err
 		}
-		if err := sw.bw.Flush(); err != nil {
-			return fmt.Errorf("dataset: flush shard %s: %w", sw.info.File, err)
-		}
-		if err := sw.f.Close(); err != nil {
-			return fmt.Errorf("dataset: close shard %s: %w", sw.info.File, err)
-		}
-		sw.info.CRC32 = sw.crc.Sum32()
 		m.Shards = append(m.Shards, sw.info)
 	}
 	return writeManifest(w.dir, m)
 }
 
-// Write persists a whole in-memory Dataset to dir. It streams the
-// dataset's sections in their canonical in-memory order; the resulting
-// directory is deterministic for a deterministic Dataset.
+// shardJob is one shard's worth of bulk-write work: the shard identity
+// plus an emit callback streaming every record belonging to it, in the
+// dataset's canonical section order.
+type shardJob struct {
+	kind  string
+	month clock.Month
+	emit  func(sw *shardWriter, e *enc) error
+}
+
+// Write persists a whole in-memory Dataset to dir. Shards are encoded
+// and written in parallel — they are independent by construction (one
+// file each, own CRC, own record stream) — and the manifest is sorted,
+// so the resulting directory is byte-identical to a sequential write.
 func Write(dir string, ds *Dataset, opts Options) (err error) {
 	span := opts.Telemetry.StartSpan("dataset.write")
 	defer func() { span.EndErr(err) }()
-	w, err := NewWriter(dir, opts)
-	if err != nil {
-		return err
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: create %s: %w", dir, err)
 	}
-	for _, r := range ds.Runs {
-		w.AddRun(r)
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return fmt.Errorf("dataset: %s already holds a dataset (refusing to overwrite)", dir)
 	}
-	if ds.HasActive {
-		w.SetHasActive()
+	ctrs := newWriteCounters(opts.Telemetry)
+
+	// Group the passive sections by month, preserving in-dataset order:
+	// each month's shard streams its observations first, then its
+	// revocations, exactly as the streaming Writer would.
+	monthObs := make(map[clock.Month][]*capture.Observation)
+	monthRevs := make(map[clock.Month][]capture.RevocationEvent)
+	var months []clock.Month
+	seen := make(map[clock.Month]bool)
+	note := func(m clock.Month) {
+		if !seen[m] {
+			seen[m] = true
+			months = append(months, m)
+		}
 	}
 	for _, o := range ds.Observations {
-		if err := w.Observation(o); err != nil {
-			return err
-		}
+		note(o.Month)
+		monthObs[o.Month] = append(monthObs[o.Month], o)
 	}
 	for _, ev := range ds.Revocations {
-		if err := w.Revocation(ev); err != nil {
+		m := clock.MonthOf(ev.Time)
+		note(m)
+		monthRevs[m] = append(monthRevs[m], ev)
+	}
+
+	var jobs []shardJob
+	for _, m := range months {
+		m := m
+		jobs = append(jobs, shardJob{kind: KindPassive, month: m, emit: func(sw *shardWriter, e *enc) error {
+			for _, o := range monthObs[m] {
+				e.reset()
+				encodeObservation(e, recObservation, o)
+				if err := sw.writeRecord(e.b); err != nil {
+					return err
+				}
+			}
+			for _, ev := range monthRevs[m] {
+				e.reset()
+				encodeRevocation(e, ev)
+				if err := sw.writeRecord(e.b); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	if len(ds.ActiveObservations) > 0 {
+		jobs = append(jobs, shardJob{kind: KindActive, emit: func(sw *shardWriter, e *enc) error {
+			for _, o := range ds.ActiveObservations {
+				e.reset()
+				encodeObservation(e, recActiveObservation, o)
+				if err := sw.writeRecord(e.b); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	if len(ds.ProbeReports)+len(ds.Downgrades)+len(ds.OldVersions)+
+		len(ds.Interceptions)+len(ds.Passthroughs)+len(ds.Degradations) > 0 {
+		jobs = append(jobs, shardJob{kind: KindAux, emit: func(sw *shardWriter, e *enc) error {
+			write := func(encode func(*enc)) error {
+				e.reset()
+				encode(e)
+				return sw.writeRecord(e.b)
+			}
+			for _, r := range ds.ProbeReports {
+				r := r
+				if err := write(func(e *enc) { encodeProbeReport(e, r) }); err != nil {
+					return err
+				}
+			}
+			for _, r := range ds.Downgrades {
+				r := r
+				if err := write(func(e *enc) { encodeDowngrade(e, r) }); err != nil {
+					return err
+				}
+			}
+			for _, r := range ds.OldVersions {
+				r := r
+				if err := write(func(e *enc) { encodeOldVersion(e, r) }); err != nil {
+					return err
+				}
+			}
+			for _, r := range ds.Interceptions {
+				r := r
+				if err := write(func(e *enc) { encodeInterception(e, r) }); err != nil {
+					return err
+				}
+			}
+			for _, r := range ds.Passthroughs {
+				r := r
+				if err := write(func(e *enc) { encodePassthrough(e, r) }); err != nil {
+					return err
+				}
+			}
+			for _, d := range ds.Degradations {
+				d := d
+				if err := write(func(e *enc) { encodeDegradation(e, d) }); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	if len(ds.TraceSpans) > 0 {
+		jobs = append(jobs, shardJob{kind: KindTrace, emit: func(sw *shardWriter, e *enc) error {
+			for _, r := range ds.TraceSpans {
+				e.reset()
+				encodeTraceSpan(e, r)
+				if err := sw.writeRecord(e.b); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+
+	infos := make([]ShardInfo, len(jobs))
+	errs := make([]error, len(jobs))
+	pool.Run(0, len(jobs), func(_, i int) {
+		job := jobs[i]
+		monthStr := ""
+		if job.kind == KindPassive {
+			monthStr = job.month.String()
+		}
+		sw, err := newShardWriter(dir, shardName(job.kind, job.month, opts.Gzip), job.kind, monthStr, opts.Gzip, ctrs)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		e := getEnc(opts.NoPooling)
+		if err := job.emit(sw, e); err != nil {
+			errs[i] = err
+			return
+		}
+		putEnc(e, opts.NoPooling)
+		if err := sw.finish(); err != nil {
+			errs[i] = err
+			return
+		}
+		infos[i] = sw.info
+	})
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
-	for _, o := range ds.ActiveObservations {
-		if err := w.ActiveObservation(o); err != nil {
-			return err
-		}
+
+	m := &Manifest{
+		Schema:    Schema,
+		Version:   Version,
+		Gzip:      opts.Gzip,
+		HasActive: ds.HasActive,
+		Runs:      append([]Run(nil), ds.Runs...),
+		Shards:    infos,
 	}
-	for _, r := range ds.ProbeReports {
-		if err := w.ProbeReport(r); err != nil {
-			return err
-		}
-	}
-	for _, r := range ds.Downgrades {
-		if err := w.Downgrade(r); err != nil {
-			return err
-		}
-	}
-	for _, r := range ds.OldVersions {
-		if err := w.OldVersion(r); err != nil {
-			return err
-		}
-	}
-	for _, r := range ds.Interceptions {
-		if err := w.Interception(r); err != nil {
-			return err
-		}
-	}
-	for _, r := range ds.Passthroughs {
-		if err := w.Passthrough(r); err != nil {
-			return err
-		}
-	}
-	for _, d := range ds.Degradations {
-		if err := w.Degradation(d); err != nil {
-			return err
-		}
-	}
-	for _, r := range ds.TraceSpans {
-		if err := w.TraceSpan(r); err != nil {
-			return err
-		}
-	}
-	return w.Close()
+	return writeManifest(dir, m)
 }

@@ -81,8 +81,21 @@ type Proxy struct {
 	legitLeaf    certs.KeyPair // valid chain for AttackerDomain
 	trustedCA    certs.KeyPair // the operational CA that signed legitLeaf
 
-	mu     sync.Mutex
-	leaves map[string]certs.KeyPair // forged per-host leaves (self-signed root)
+	mu       sync.Mutex
+	leaves   map[string]certs.KeyPair // forged per-host leaves (self-signed root)
+	bcLeaves map[string]certs.KeyPair // per-host leaves issued by the CA=false legitLeaf
+	spoofs   map[string]spoofChain    // per-(target, host) spoofed-CA chains
+}
+
+// spoofChain is a memoized SpoofedCA attack chain: the spoofed copy of
+// the target root plus the per-host leaf it issued. Spoof and Issue are
+// deterministic (seeded keys, deterministic signatures), so rebuilding
+// the chain for the same (target, host) reproduces it bit for bit —
+// memoizing only removes the repeated Ed25519 signing, which the probe
+// suite otherwise pays once per device for each of the ~200 CAs.
+type spoofChain struct {
+	spoof certs.KeyPair
+	leaf  certs.KeyPair
 }
 
 // attackValidity must cover the 2021 active experiment window.
@@ -99,6 +112,8 @@ func NewProxy(nw *netem.Network, u *rootstore.Universe) *Proxy {
 		trustedCA:    trusted,
 		attackerRoot: certs.NewRootCA(certs.Name{CommonName: "mitm attacker root", Organization: "IoTLS", Country: "US"}, 6666, attackNotBefore, attackNotAfter, "mitm-attacker-root"),
 		leaves:       make(map[string]certs.KeyPair),
+		bcLeaves:     make(map[string]certs.KeyPair),
+		spoofs:       make(map[string]spoofChain),
 	}
 	p.legitLeaf = trusted.Issue(certs.Template{
 		SerialNumber: 6667,
@@ -125,22 +140,11 @@ func (p *Proxy) chainFor(attack Attack, host string, spoofTarget *certs.Certific
 		return []*certs.Certificate{p.legitLeaf.Cert, p.trustedCA.Cert}, p.legitLeaf
 	case AttackInvalidBasicConstraints:
 		// The legit leaf (CA=false) misused as an issuer for host.
-		leaf := p.legitLeaf.Issue(certs.Template{
-			SerialNumber: serial(host) + 1,
-			Subject:      certs.Name{CommonName: host},
-			NotBefore:    attackNotBefore, NotAfter: attackNotAfter,
-			DNSNames: []string{host},
-		}, "mitm-bc-leaf-"+host)
+		leaf := p.bcLeaf(host)
 		return []*certs.Certificate{leaf.Cert, p.legitLeaf.Cert, p.trustedCA.Cert}, leaf
 	case AttackSpoofedCA:
-		spoof := certs.Spoof(spoofTarget, "mitm-spoof-"+spoofTarget.SubjectKey())
-		leaf := spoof.Issue(certs.Template{
-			SerialNumber: serial(host) + 2,
-			Subject:      certs.Name{CommonName: host},
-			NotBefore:    attackNotBefore, NotAfter: attackNotAfter,
-			DNSNames: []string{host},
-		}, "mitm-spoof-leaf-"+host)
-		return []*certs.Certificate{leaf.Cert, spoof.Cert}, leaf
+		sc := p.spoofChain(spoofTarget, host)
+		return []*certs.Certificate{sc.leaf.Cert, sc.spoof.Cert}, sc.leaf
 	default:
 		return nil, certs.KeyPair{}
 	}
@@ -160,6 +164,43 @@ func (p *Proxy) selfSignedLeaf(host string) certs.KeyPair {
 	}, "mitm-leaf-"+host)
 	p.leaves[host] = leaf
 	return leaf
+}
+
+// bcLeaf memoizes the per-host InvalidBasicConstraints leaf.
+func (p *Proxy) bcLeaf(host string) certs.KeyPair {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if leaf, ok := p.bcLeaves[host]; ok {
+		return leaf
+	}
+	leaf := p.legitLeaf.Issue(certs.Template{
+		SerialNumber: serial(host) + 1,
+		Subject:      certs.Name{CommonName: host},
+		NotBefore:    attackNotBefore, NotAfter: attackNotAfter,
+		DNSNames: []string{host},
+	}, "mitm-bc-leaf-"+host)
+	p.bcLeaves[host] = leaf
+	return leaf
+}
+
+// spoofChain memoizes the SpoofedCA chain for one (target, host) pair.
+func (p *Proxy) spoofChain(spoofTarget *certs.Certificate, host string) spoofChain {
+	key := spoofTarget.Fingerprint() + "|" + host
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sc, ok := p.spoofs[key]; ok {
+		return sc
+	}
+	spoof := certs.Spoof(spoofTarget, "mitm-spoof-"+spoofTarget.SubjectKey())
+	leaf := spoof.Issue(certs.Template{
+		SerialNumber: serial(host) + 2,
+		Subject:      certs.Name{CommonName: host},
+		NotBefore:    attackNotBefore, NotAfter: attackNotAfter,
+		DNSNames: []string{host},
+	}, "mitm-spoof-leaf-"+host)
+	sc := spoofChain{spoof: spoof, leaf: leaf}
+	p.spoofs[key] = sc
+	return sc
 }
 
 func serial(host string) uint64 {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,10 +38,20 @@ type ConnMeta struct {
 	// is untraced). Mirrors use it to attach capture-write spans to the
 	// attempt that produced the bytes.
 	Trace *trace.Span
+
+	// addr caches the rendered destination. Dial fills it once so the
+	// several Addr calls along the dial path (routing, telemetry, fault
+	// keying, mirroring) don't re-format the string.
+	addr string
 }
 
 // Addr renders the destination as "host:port".
-func (m ConnMeta) Addr() string { return fmt.Sprintf("%s:%d", m.DstHost, m.DstPort) }
+func (m ConnMeta) Addr() string {
+	if m.addr != "" {
+		return m.addr
+	}
+	return m.DstHost + ":" + strconv.Itoa(m.DstPort)
+}
 
 // Handler serves the server side of an accepted connection. The handler
 // owns conn and must close it.
@@ -112,8 +123,29 @@ type Network struct {
 	faults          *fault.Plan
 
 	// handlers counts in-flight server handler goroutines, so barriers
-	// can join them before the virtual clock moves.
+	// can join them before the virtual clock moves. inflight shadows the
+	// WaitGroup count so WaitHandlers can answer "nothing in flight" with
+	// one atomic load instead of a rendezvous.
 	handlers sync.WaitGroup
+	inflight atomic.Int64
+
+	// hot caches the dial-path counter handles; Registry.Counter is a
+	// lock-guarded map lookup, too heavy for once-per-dial (and
+	// once-per-Read on mirrored conns).
+	hot hotCounters
+
+	// endpointCounters caches "netem.endpoint.<addr>" counters keyed by
+	// addr, saving the per-dial string concat and registry lookup.
+	endpointCounters sync.Map // string -> *telemetry.Counter
+}
+
+// hotCounters holds pre-resolved telemetry counters for the dial path.
+type hotCounters struct {
+	dials, dialsDropped, dialsTapped, dialsNoRoute *telemetry.Counter
+	faultsLatency, faultsDialFail, faultsReset     *telemetry.Counter
+	faultsStall, faultsTruncate, faultsCorrupt     *telemetry.Counter
+	mirrorConns, mirrorFrames                      *telemetry.Counter
+	mirrorClientBytes, mirrorServerBytes           *telemetry.Counter
 }
 
 // tapEntry is one AddTap registration, boxed so the remove closure can
@@ -127,7 +159,34 @@ type tapEntry struct {
 // the same clock); every layer that holds a *Network reaches its
 // instruments through Telemetry.
 func New(clk clock.Clock) *Network {
-	return &Network{clk: clk, tel: telemetry.New(clk), listeners: make(map[string]Handler)}
+	n := &Network{clk: clk, tel: telemetry.New(clk), listeners: make(map[string]Handler)}
+	n.hot = hotCounters{
+		dials:             n.tel.Counter("netem.dials"),
+		dialsDropped:      n.tel.Counter("netem.dials.dropped"),
+		dialsTapped:       n.tel.Counter("netem.dials.tapped"),
+		dialsNoRoute:      n.tel.Counter("netem.dials.no_route"),
+		faultsLatency:     n.tel.Counter("netem.faults.latency"),
+		faultsDialFail:    n.tel.Counter("netem.faults.dial_fail"),
+		faultsReset:       n.tel.Counter("netem.faults.reset"),
+		faultsStall:       n.tel.Counter("netem.faults.stall"),
+		faultsTruncate:    n.tel.Counter("netem.faults.truncate"),
+		faultsCorrupt:     n.tel.Counter("netem.faults.corrupt"),
+		mirrorConns:       n.tel.Counter("netem.mirror.conns"),
+		mirrorFrames:      n.tel.Counter("netem.mirror.frames"),
+		mirrorClientBytes: n.tel.Counter("netem.mirror.client_bytes"),
+		mirrorServerBytes: n.tel.Counter("netem.mirror.server_bytes"),
+	}
+	return n
+}
+
+// endpointCounter returns the cached per-endpoint dial counter.
+func (n *Network) endpointCounter(addr string) *telemetry.Counter {
+	if c, ok := n.endpointCounters.Load(addr); ok {
+		return c.(*telemetry.Counter)
+	}
+	c := n.tel.Counter("netem.endpoint." + addr)
+	n.endpointCounters.Store(addr, c)
+	return c
 }
 
 // Telemetry returns the network's metrics registry, the shared
@@ -289,6 +348,7 @@ func (n *Network) Dial(srcHost, dstHost string, dstPort int) (net.Conn, error) {
 // ConnMeta so capture writes join the same subtree.
 func (n *Network) DialTraced(srcHost, dstHost string, dstPort int, sp *trace.Span) (net.Conn, error) {
 	meta := ConnMeta{SrcHost: srcHost, DstHost: dstHost, DstPort: dstPort, At: n.clk.Now(), Trace: sp}
+	meta.addr = meta.DstHost + ":" + strconv.Itoa(meta.DstPort)
 
 	n.mu.Lock()
 	n.connCount++
@@ -305,8 +365,8 @@ func (n *Network) DialTraced(srcHost, dstHost string, dstPort int, sp *trace.Spa
 	}
 	n.mu.Unlock()
 
-	n.tel.Counter("netem.dials").Inc()
-	n.tel.Counter("netem.endpoint." + meta.Addr()).Inc()
+	n.hot.dials.Inc()
+	n.endpointCounter(meta.addr).Inc()
 
 	// Fault decisions are keyed by (src, dst, per-key ordinal), so
 	// dropped dials must not consume an ordinal — DropEveryN assignment
@@ -331,30 +391,30 @@ func (n *Network) DialTraced(srcHost, dstHost string, dstPort int, sp *trace.Spa
 		time.Sleep(imp.DialDelay)
 	}
 	if dec.Delay > 0 {
-		n.tel.Counter("netem.faults.latency").Inc()
+		n.hot.faultsLatency.Inc()
 		time.Sleep(dec.Delay)
 	}
 	if drop {
-		n.tel.Counter("netem.dials.dropped").Inc()
+		n.hot.dialsDropped.Inc()
 		handler = blackHole
 		tap = nil
 		taps = nil
 	}
 	switch dec.Kind {
 	case fault.KindDialFail:
-		n.tel.Counter("netem.faults.dial_fail").Inc()
+		n.hot.faultsDialFail.Inc()
 		return nil, fmt.Errorf("%w: connection to %s refused", fault.ErrInjected, meta.Addr())
 	case fault.KindReset:
 		// The reset and stall faults hijack the connection before
 		// routing, like a drop: neither the destination nor any
 		// interception tap sees it (the mirror still does — partial
 		// handshakes are signal for the sniffer).
-		n.tel.Counter("netem.faults.reset").Inc()
+		n.hot.faultsReset.Inc()
 		handler = resetAfterHello
 		tap = nil
 		taps = nil
 	case fault.KindStall:
-		n.tel.Counter("netem.faults.stall").Inc()
+		n.hot.faultsStall.Inc()
 		handler = blackHole
 		tap = nil
 		taps = nil
@@ -377,10 +437,10 @@ func (n *Network) DialTraced(srcHost, dstHost string, dstPort int, sp *trace.Spa
 		}
 	}
 	if hijacked {
-		n.tel.Counter("netem.dials.tapped").Inc()
+		n.hot.dialsTapped.Inc()
 	}
 	if handler == nil {
-		n.tel.Counter("netem.dials.no_route").Inc()
+		n.hot.dialsNoRoute.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, meta.Addr())
 	}
 
@@ -397,8 +457,8 @@ func (n *Network) DialTraced(srcHost, dstHost string, dstPort int, sp *trace.Spa
 
 	if mirror != nil {
 		if m := mirror(meta); m != nil {
-			n.tel.Counter("netem.mirror.conns").Inc()
-			client = newMirroredConn(client, m, n.tel)
+			n.hot.mirrorConns.Inc()
+			client = newMirroredConn(client, m, n)
 		}
 	}
 
@@ -407,15 +467,17 @@ func (n *Network) DialTraced(srcHost, dstHost string, dstPort int, sp *trace.Spa
 	var srv net.Conn = server
 	switch dec.Kind {
 	case fault.KindTruncate:
-		n.tel.Counter("netem.faults.truncate").Inc()
+		n.hot.faultsTruncate.Inc()
 		srv = &truncateConn{Conn: server, entropy: dec.Rand}
 	case fault.KindCorrupt:
-		n.tel.Counter("netem.faults.corrupt").Inc()
+		n.hot.faultsCorrupt.Inc()
 		srv = &corruptConn{Conn: server, entropy: dec.Rand}
 	}
 
 	n.handlers.Add(1)
+	n.inflight.Add(1)
 	go func() {
+		defer n.inflight.Add(-1)
 		defer n.handlers.Done()
 		handler(srv, meta)
 	}()
@@ -429,6 +491,12 @@ func (n *Network) DialTraced(srcHost, dstHost string, dstPort int, sp *trace.Spa
 // on goroutine scheduling. Callers must ensure no concurrent Dials —
 // barriers are naturally quiescent points.
 func (n *Network) WaitHandlers() {
+	// Fast path: barriers fire far more often than handlers linger, and
+	// the caller guarantees no concurrent Dials, so a zero in-flight
+	// count is stable and the rendezvous can be skipped outright.
+	if n.inflight.Load() == 0 {
+		return
+	}
 	n.handlers.Wait()
 }
 
@@ -509,15 +577,15 @@ func (c *serverConn) StallPeer() {
 type mirroredConn struct {
 	net.Conn
 	mirror Mirror
-	tel    *telemetry.Registry
+	nw     *Network
 	once   sync.Once
 
 	clientBytes atomic.Int64
 	serverBytes atomic.Int64
 }
 
-func newMirroredConn(c net.Conn, m Mirror, tel *telemetry.Registry) *mirroredConn {
-	return &mirroredConn{Conn: c, mirror: m, tel: tel}
+func newMirroredConn(c net.Conn, m Mirror, nw *Network) *mirroredConn {
+	return &mirroredConn{Conn: c, mirror: m, nw: nw}
 }
 
 func (c *mirroredConn) Read(p []byte) (int, error) {
@@ -525,8 +593,8 @@ func (c *mirroredConn) Read(p []byte) (int, error) {
 	if n > 0 {
 		c.mirror.ServerBytes(p[:n])
 		c.serverBytes.Add(int64(n))
-		c.tel.Counter("netem.mirror.frames").Inc()
-		c.tel.Counter("netem.mirror.server_bytes").Add(int64(n))
+		c.nw.hot.mirrorFrames.Inc()
+		c.nw.hot.mirrorServerBytes.Add(int64(n))
 	}
 	return n, err
 }
@@ -536,8 +604,8 @@ func (c *mirroredConn) Write(p []byte) (int, error) {
 	if n > 0 {
 		c.mirror.ClientBytes(p[:n])
 		c.clientBytes.Add(int64(n))
-		c.tel.Counter("netem.mirror.frames").Inc()
-		c.tel.Counter("netem.mirror.client_bytes").Add(int64(n))
+		c.nw.hot.mirrorFrames.Inc()
+		c.nw.hot.mirrorClientBytes.Add(int64(n))
 	}
 	return n, err
 }
@@ -546,8 +614,8 @@ func (c *mirroredConn) Close() error {
 	err := c.Conn.Close()
 	c.once.Do(func() {
 		c.mirror.CloseMirror()
-		c.tel.Histogram("netem.conn.client_bytes", telemetry.SizeBuckets).Observe(c.clientBytes.Load())
-		c.tel.Histogram("netem.conn.server_bytes", telemetry.SizeBuckets).Observe(c.serverBytes.Load())
+		c.nw.tel.Histogram("netem.conn.client_bytes", telemetry.SizeBuckets).Observe(c.clientBytes.Load())
+		c.nw.tel.Histogram("netem.conn.server_bytes", telemetry.SizeBuckets).Observe(c.serverBytes.Load())
 	})
 	return err
 }

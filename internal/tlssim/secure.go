@@ -3,6 +3,7 @@ package tlssim
 import (
 	"crypto/hmac"
 	"crypto/sha256"
+	"hash"
 	"net"
 	"sync"
 
@@ -29,29 +30,41 @@ func masterSecret(clientRandom, serverRandom [32]byte, suite ciphers.Suite) []by
 // who holds the session secret.
 type keystreamCipher struct {
 	secret []byte
-	label  string
+	label  []byte
+	mac    hash.Hash // reused HMAC instance; Reset between blocks
 	block  []byte
 	used   int
 	count  uint64
 }
 
 func newKeystream(secret []byte, label string) *keystreamCipher {
-	return &keystreamCipher{secret: secret, label: label}
+	return &keystreamCipher{secret: secret, label: []byte(label)}
+}
+
+// nextBlock derives keystream block k.count into k.block, reusing the
+// HMAC state and output buffer so steady-state record protection does
+// not allocate.
+func (k *keystreamCipher) nextBlock() {
+	if k.mac == nil {
+		k.mac = hmac.New(sha256.New, k.secret)
+	} else {
+		k.mac.Reset()
+	}
+	k.mac.Write(k.label)
+	var ctr [8]byte
+	for j := 0; j < 8; j++ {
+		ctr[j] = byte(k.count >> uint(56-8*j))
+	}
+	k.mac.Write(ctr[:])
+	k.block = k.mac.Sum(k.block[:0])
+	k.used = 0
+	k.count++
 }
 
 func (k *keystreamCipher) xor(p []byte) {
 	for i := range p {
 		if k.used == len(k.block) {
-			mac := hmac.New(sha256.New, k.secret)
-			mac.Write([]byte(k.label))
-			var ctr [8]byte
-			for j := 0; j < 8; j++ {
-				ctr[j] = byte(k.count >> uint(56-8*j))
-			}
-			mac.Write(ctr[:])
-			k.block = mac.Sum(nil)
-			k.used = 0
-			k.count++
+			k.nextBlock()
 		}
 		p[i] ^= k.block[k.used]
 		k.used++

@@ -43,6 +43,11 @@ type Generator struct {
 	// engine exactly (and any value reproduces its artifacts).
 	Parallelism int
 
+	// Pool, when non-nil, dispatches each month's batch over a
+	// persistent worker set instead of spawning workers per month.
+	// Parallelism is ignored in favour of the set's size.
+	Pool *pool.Workers
+
 	// Trace, when set, is the passive phase's span: each month becomes
 	// a child, each device's monthly batch a child of the month, and
 	// every handshake a connect span beneath.
@@ -100,6 +105,22 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 	stats := &Stats{}
 	tel := g.Network.Telemetry()
 	workers := pool.Parallelism(g.Parallelism)
+	if g.Pool != nil {
+		workers = g.Pool.Count()
+	}
+	handshakes := tel.Counter("traffic.handshakes")
+	weightedConns := tel.Counter("traffic.weighted_conns")
+	failedConnects := tel.Counter("traffic.failed_connects")
+
+	// Per-worker capture buffers: sniffers for a device publish into the
+	// buffer of the worker driving it, so the month's hot publish path
+	// never touches the shared store's shard locks. Buffers are flushed
+	// (and bindings dropped) at each month barrier, after WaitIdle has
+	// joined every sniffer.
+	bufs := make([]*capture.WorkerBuffer, workers)
+	for i := range bufs {
+		bufs[i] = g.Collector.Store.NewWorkerBuffer()
+	}
 	for m := first; !last.Before(m); m = m.Next() {
 		if g.Stop != nil && g.Stop() {
 			tel.Counter("traffic.stopped").Inc()
@@ -130,21 +151,29 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 
 		accs := make([]Stats, workers)
 		month := m
-		pool.RunSpans(workers, len(items), msp, "device",
+		dispatch := func(items int, parent *trace.Span, name string, detail func(int) string, fn func(int, int, *trace.Span)) {
+			if g.Pool != nil {
+				g.Pool.RunSpans(items, parent, name, detail, fn)
+			} else {
+				pool.RunSpans(workers, items, parent, name, detail, fn)
+			}
+		}
+		dispatch(len(items), msp, "device",
 			func(i int) string { return items[i].dev.ID },
 			func(worker, i int, dsp *trace.Span) {
 				it := items[i]
 				acc := &accs[worker]
+				g.Collector.BindDevice(it.dev.ID, bufs[worker])
 				for k, dst := range it.dsts {
 					g.Collector.WillDial(it.dev.ID, dst.Host, 443, dst.MonthlyConns)
 					out := driver.ConnectTraced(g.Network, it.dev, dst, month, it.seqs[k], dsp)
 					acc.Handshakes++
 					acc.WeightedConns += dst.MonthlyConns
-					tel.Counter("traffic.handshakes").Inc()
-					tel.Counter("traffic.weighted_conns").Add(int64(dst.MonthlyConns))
+					handshakes.Inc()
+					weightedConns.Add(int64(dst.MonthlyConns))
 					if !out.Established {
 						acc.FailedConnects++
-						tel.Counter("traffic.failed_connects").Inc()
+						failedConnects.Inc()
 					}
 				}
 			})
@@ -166,6 +195,13 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 		// moves, or a late-scheduled handler would stamp its handshake
 		// span with next month's virtual time.
 		g.Network.WaitHandlers()
+		// All sniffers have published; merge the worker buffers into the
+		// shared store. Canonical read-side ordering makes the merge
+		// order irrelevant to downstream artifacts.
+		g.Collector.UnbindAll()
+		for _, b := range bufs {
+			b.Flush()
+		}
 		stats.Months++
 		tel.Counter("traffic.months").Inc()
 		sp.End("ok")
