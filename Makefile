@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race race-parallel chaos dataset serve trace vet bench bench-telemetry bench-gate profile clean
+.PHONY: check build test race race-parallel chaos dataset serve trace cluster vet bench bench-telemetry bench-gate profile clean
 
 # check is the full verification gate: vet, build, the test suite under
 # the race detector, the parallel-study workload under the race
@@ -10,7 +10,7 @@ GO ?= go
 # suite. Set BENCH_GATE=1 to additionally run the performance
 # regression gate (off by default: it re-measures codec throughput, so
 # it is meaningful only on quiet, comparable hardware).
-check: vet build race race-parallel chaos dataset serve trace
+check: vet build race race-parallel chaos dataset serve trace cluster
 ifneq ($(BENCH_GATE),)
 check: bench-gate
 endif
@@ -58,6 +58,19 @@ serve:
 	$(GO) test -race -run 'TestScheduler|TestConcurrentJobsMatchSequential|TestDrain|TestHTTPAPIEndToEnd|TestQueueFullSheds429|TestAnalyzeAndMergeJobs|TestPerJobTelemetryIsolation' \
 		-count=1 -timeout 10m ./internal/serve/
 
+# cluster pins the distributed study fabric under the race detector:
+# the headline kill-one-worker-mid-fetch run staying byte-identical to
+# single-node, the coordinator chaos matrix (seeded heartbeat drops,
+# corrupted and truncated shard streams, a hostile kill across 2 seeds
+# x {3,6} workers), straggler speculation, elastic join/leave, partial
+# degradation, the serve-side lease/cancel/readiness fabric, and the
+# CRC-verified fetch retry/resume loop.
+cluster:
+	$(GO) test -race -run 'TestCoordinateMatchesLocal|TestCoordChaosMatrix|TestCoordSpeculationWins|TestCoordElasticJoinLeave|TestCoordPartialOnExhaustion' \
+		-count=1 -timeout 20m ./internal/coord/
+	$(GO) test -race -run 'TestCancel|TestLease|TestReadyz|TestFetch' \
+		-count=1 -timeout 10m ./internal/serve/ ./internal/dataset/ ./internal/fault/
+
 # trace pins the causal-trace contracts under the race detector: an
 # aggressive-fault study at parallelism 1 and 8 emits byte-identical
 # trace.bin shards and Chrome exports, passive-phase abandonments are
@@ -73,8 +86,10 @@ trace:
 # (baseline vs armed-but-empty plan vs mild plan) into
 # BENCH_faults.json, dataset I/O throughput plus the
 # analyze-from-disk vs resimulate speedup into BENCH_dataset.json,
-# service throughput into BENCH_serve.json, and the always-on tracing
-# overhead (traced vs -no-trace, budget 5%) into BENCH_trace.json.
+# service throughput into BENCH_serve.json, the always-on tracing
+# overhead (traced vs -no-trace, budget 5%) into BENCH_trace.json,
+# and single-node vs coordinated-fleet wall time (the distribution
+# overhead ratio on one machine) into BENCH_coord.json.
 bench:
 	$(GO) test ./internal/core/ -run TestEmitStudyBench -count=1 -timeout 30m \
 		-study.benchout=$(CURDIR)/BENCH_study.json
@@ -86,6 +101,8 @@ bench:
 		-serve.benchout=$(CURDIR)/BENCH_serve.json
 	$(GO) test ./internal/core/ -run TestEmitTraceBench -count=1 -timeout 30m \
 		-trace.benchout=$(CURDIR)/BENCH_trace.json
+	$(GO) test ./internal/coord/ -run TestEmitCoordBench -count=1 -timeout 30m \
+		-coord.benchout=$(CURDIR)/BENCH_coord.json
 
 # bench-telemetry runs the full study through `iotls metrics report`
 # and captures the deterministic telemetry report.

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/coord"
+	"repro/internal/telemetry"
+)
+
+// runCoordinate implements `iotls coordinate`: run one study as a
+// fault-tolerant distributed job across a fleet of `iotls serve`
+// workers — existing ones named with -workers, or a local fleet the
+// command spawns itself with -spawn. The merged dataset and rendered
+// artifacts land under -out and are byte-identical to a single-node
+// `iotls capture` + `iotls analyze` of the same spec (workers run
+// trace-free; manifest.json carries the true N-run provenance).
+//
+// A run that loses device subsets on every worker degrades to a
+// PARTIAL dataset and exits 3, like a degraded local study.
+func runCoordinate(args []string) error {
+	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
+	workers := fs.String("workers", "", "comma-separated worker base URLs (http://host:port)")
+	spawn := fs.Int("spawn", 0, "spawn this many local loopback workers instead of -workers")
+	out := fs.String("out", "iotls-coordinated", "output directory (dataset/ and artifacts/)")
+	jobs := fs.Int("jobs", 0, "device-subset jobs to split the study into (0 = 2x workers)")
+	weight := fs.Int("job-weight", 1, "per-job worker weight on each serve scheduler")
+	gzip := fs.Bool("gzip", false, "gzip the merged dataset's shards")
+	keepWork := fs.Bool("keep-work", false, "keep fetched per-job datasets under OUT/work")
+	fs.Parse(args)
+
+	var urls []string
+	if *workers != "" {
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	if (len(urls) == 0) == (*spawn <= 0) {
+		return fmt.Errorf("coordinate: need exactly one of -workers or -spawn N")
+	}
+	if *spawn > 0 {
+		fleet, err := coord.SpawnLocalWorkers(*spawn, coord.LocalOptions{
+			WorkDir: *out + "/workers",
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.CloseLocalWorkers(fleet)
+		urls = coord.URLs(fleet)
+		fmt.Fprintf(os.Stderr, "iotls: spawned %d local workers\n", len(fleet))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	tel := telemetry.New(nil)
+	c := coord.New(coord.Options{
+		Workers:   urls,
+		Jobs:      *jobs,
+		Config:    studyConfig,
+		JobWeight: *weight,
+		Gzip:      *gzip,
+		OutDir:    *out,
+		KeepWork:  *keepWork,
+		Telemetry: tel,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "iotls: "+format+"\n", a...)
+		},
+	})
+	res, err := c.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coordinated study: %d/%d subset jobs merged across %d workers\n",
+		res.Completed, res.Completed+len(res.Lost), len(res.JobsByWorker))
+	fmt.Printf("dataset:   %s\nartifacts: %s\n", res.DatasetDir, res.ArtifactDir)
+	snap := tel.Snapshot()
+	fmt.Printf("fabric: %d requeued, %d workers lost, %d speculative (%d won), %d fetch retries\n",
+		snap.Counters["coord.jobs.requeued"], snap.Counters["coord.workers.lost"],
+		snap.Counters["coord.speculative.launched"], snap.Counters["coord.speculative.won"],
+		snap.Counters["dataset.fetch.retries"])
+	if res.Partial {
+		lost := 0
+		for _, subset := range res.Lost {
+			lost += len(subset)
+		}
+		return fmt.Errorf("%w: PARTIAL dataset — %d subset(s) covering %d device(s) exhausted every worker",
+			errDegraded, len(res.Lost), lost)
+	}
+	if res.Degraded {
+		return fmt.Errorf("%w: merged report carries degradations", errDegraded)
+	}
+	return nil
+}

@@ -19,6 +19,10 @@
 //	iotls serve -addr :8443  run the study service: a JSON HTTP API scheduling
 //	                         concurrent study/analyze/merge jobs under one
 //	                         global worker budget (see README "Serving")
+//	iotls coordinate ...     run one study distributed across a fleet of
+//	                         serve workers, fault-tolerantly, merging the
+//	                         shards into a single-node-identical dataset
+//	                         (see README "Distributed studies")
 //
 // The global -parallel flag (before the subcommand) sets the worker
 // count for every parallelisable study phase (0, the default, means
@@ -121,6 +125,8 @@ func main() {
 		err = runGuard()
 	case "serve":
 		err = runServe(args)
+	case "coordinate":
+		err = runCoordinate(args)
 	case "metrics":
 		err = runMetrics(args)
 	case "trace":
@@ -185,6 +191,12 @@ commands:
   serve        run the study service: JSON HTTP API for concurrent
                study/analyze/merge jobs sharing one worker budget
                (-addr :8443, -data DIR, -queue N; SIGTERM drains)
+  coordinate   run one study distributed across serve workers with
+               lease/heartbeat death detection, requeue, speculation,
+               and CRC-verified shard collection; the merged output is
+               byte-identical to a single-node run
+               (-workers URL,URL | -spawn N; -out DIR, -jobs J,
+               -job-weight W, -gzip, -keep-work)
 
 flags:
   -parallel N          worker count for parallel study phases
@@ -207,7 +219,8 @@ flags:
                        pprof at /debug/pprof/) on ADDR while running
 
 exit codes: 0 success, 1 failure, 2 usage, 3 study completed degraded
-(or, for serve, any drained job degraded)`)
+(or, for serve, any drained job degraded; for coordinate, a PARTIAL
+merge after a device subset exhausted every worker)`)
 }
 
 func runPassive() error {

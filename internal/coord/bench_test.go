@@ -1,0 +1,73 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var coordBenchOut = flag.String("coord.benchout", "", "write the coordinator benchmark to this JSON file")
+
+// TestEmitCoordBench measures the same study run single-node vs
+// coordinated across a three-worker loopback fleet, writing
+// BENCH_coord.json. The interesting number is the overhead ratio: on
+// one machine the fleet shares the cores, so coordination buys fault
+// tolerance, not speed — the benchmark documents what that costs.
+// It only runs when -coord.benchout is set (`make bench`).
+func TestEmitCoordBench(t *testing.T) {
+	if *coordBenchOut == "" {
+		t.Skip("set -coord.benchout to emit BENCH_coord.json")
+	}
+	cfg := testConfig(t, "2018-01..2018-02")
+
+	localStart := time.Now()
+	localBaseline(t, cfg)
+	localDur := time.Since(localStart)
+
+	fleet, err := SpawnLocalWorkers(3, LocalOptions{WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseLocalWorkers(fleet)
+
+	coordStart := time.Now()
+	opts := fastOptions(cfg, URLs(fleet), t.TempDir())
+	res, err := New(opts).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordDur := time.Since(coordStart)
+	if res.Partial {
+		t.Fatalf("bench run degraded to PARTIAL (lost %d subsets)", len(res.Lost))
+	}
+
+	doc := struct {
+		Schema   string  `json:"schema"`
+		Cores    int     `json:"cores"`
+		Workers  int     `json:"workers"`
+		Jobs     int     `json:"jobs"`
+		LocalMs  int64   `json:"local_ms"`
+		CoordMs  int64   `json:"coordinated_ms"`
+		Overhead float64 `json:"overhead_ratio"`
+	}{
+		Schema:   "iotls/bench-coord/v1",
+		Cores:    runtime.NumCPU(),
+		Workers:  3,
+		Jobs:     res.Completed,
+		LocalMs:  localDur.Milliseconds(),
+		CoordMs:  coordDur.Milliseconds(),
+		Overhead: coordDur.Seconds() / localDur.Seconds(),
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*coordBenchOut, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("local %s, coordinated %s (%.2fx overhead)", localDur, coordDur, doc.Overhead)
+}

@@ -1,0 +1,93 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+)
+
+// chaosFleet spawns n workers, every one wrapped in a ChaosProxy
+// sharing one fabric fault plan (fault keys include the worker name,
+// so one seed drives the whole fleet deterministically).
+func chaosFleet(t *testing.T, n int, plan *fault.FabricPlan) []*LocalWorker {
+	t.Helper()
+	fleet, err := SpawnLocalWorkers(n, LocalOptions{
+		WorkDir: t.TempDir(),
+		Handler: func(i int, h http.Handler) http.Handler {
+			return NewChaosProxy(fmt.Sprintf("w%d", i), plan, h)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { CloseLocalWorkers(fleet) })
+	return fleet
+}
+
+// TestCoordChaosMatrix is the coordinator chaos matrix (`make cluster`):
+// seeded fabric fault plans across two seeds and two fleet sizes under
+// the "unstable" profile (dropped heartbeats, corrupted and truncated
+// shard streams — no kills), where every run must complete and match
+// the single-node bytes exactly; plus a "hostile" case (a worker kill
+// on top) that must either still match exactly or degrade to a
+// correct, readable PARTIAL dataset.
+func TestCoordChaosMatrix(t *testing.T) {
+	cfg := testConfig(t, "2018-01..2018-01")
+	wantDS, wantArt := localBaseline(t, cfg)
+
+	for _, seed := range []uint64{1, 2} {
+		for _, workers := range []int{3, 6} {
+			name := fmt.Sprintf("unstable/seed=%d/workers=%d", seed, workers)
+			t.Run(name, func(t *testing.T) {
+				plan := fault.NewFabricPlan(seed, fault.FabricProfiles["unstable"])
+				fleet := chaosFleet(t, workers, plan)
+
+				opts := fastOptions(cfg, URLs(fleet), t.TempDir())
+				c := New(opts)
+				res, err := c.Run(context.Background())
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if res.Partial {
+					t.Fatalf("unstable fabric (no kills) lost %d subsets", len(res.Lost))
+				}
+				t.Logf("fabric faults injected: %v; fetch retries: %d",
+					plan.Counts(), counter(c.Telemetry(), "dataset.fetch.retries"))
+				assertSameBytes(t, "dataset", res.DatasetDir, wantDS, dataset.ManifestName)
+				assertSameBytes(t, "artifacts", res.ArtifactDir, wantArt)
+			})
+		}
+	}
+
+	t.Run("hostile/seed=3/workers=3", func(t *testing.T) {
+		plan := fault.NewFabricPlan(3, fault.FabricProfiles["hostile"])
+		fleet := chaosFleet(t, 3, plan)
+
+		opts := fastOptions(cfg, URLs(fleet), t.TempDir())
+		c := New(opts)
+		res, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		t.Logf("fabric faults injected: %v; partial=%v lost=%d",
+			plan.Counts(), res.Partial, len(res.Lost))
+		if !res.Partial {
+			// The fleet absorbed the kill: full byte-identity holds.
+			assertSameBytes(t, "dataset", res.DatasetDir, wantDS, dataset.ManifestName)
+			assertSameBytes(t, "artifacts", res.ArtifactDir, wantArt)
+			return
+		}
+		// Degraded outcome: the lost subsets are reported and everything
+		// that did complete merged into a valid, readable dataset.
+		if len(res.Lost) == 0 || res.Completed == 0 {
+			t.Fatalf("PARTIAL with lost=%d completed=%d", len(res.Lost), res.Completed)
+		}
+		if _, err := dataset.Read(res.DatasetDir, nil); err != nil {
+			t.Fatalf("partial dataset unreadable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package dataset_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/telemetry"
+)
+
+// captureSmall persists a short-window few-device study dataset.
+func captureSmall(t *testing.T, dir string) {
+	t.Helper()
+	from, to, err := core.ParseWindow("2018-01..2018-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := deviceHalves(t)
+	s, err := core.NewStudyFromConfig(core.Config{
+		Parallelism: 8,
+		WindowFrom:  from, WindowTo: to,
+		Devices: a[:6],
+	})
+	if err != nil {
+		t.Fatalf("NewStudyFromConfig: %v", err)
+	}
+	rep, err := s.RunAll()
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if err := dataset.Write(dir, dataset.FromStudy(s, rep), dataset.Options{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+// flakyFileServer serves a dataset directory with byte-range support
+// and a per-file budget of responses to corrupt (one byte flipped) or
+// truncate (half the body, then a severed connection).
+type flakyFileServer struct {
+	dir string
+
+	mu           sync.Mutex
+	corruptLeft  map[string]int
+	truncateLeft map[string]int
+	hits         map[string]int
+}
+
+func newFlakyFileServer(dir string) *flakyFileServer {
+	return &flakyFileServer{
+		dir:          dir,
+		corruptLeft:  make(map[string]int),
+		truncateLeft: make(map[string]int),
+		hits:         make(map[string]int),
+	}
+}
+
+func (fs *flakyFileServer) hitCount(name string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.hits[name]
+}
+
+func (fs *flakyFileServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	name := path.Base(r.URL.Path)
+	raw, err := os.ReadFile(filepath.Join(fs.dir, name))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	fs.mu.Lock()
+	fs.hits[name]++
+	corrupt := fs.corruptLeft[name] > 0
+	if corrupt {
+		fs.corruptLeft[name]--
+	}
+	trunc := !corrupt && fs.truncateLeft[name] > 0
+	if trunc {
+		fs.truncateLeft[name]--
+	}
+	fs.mu.Unlock()
+
+	var start int64
+	if rg := r.Header.Get("Range"); strings.HasPrefix(rg, "bytes=") && strings.HasSuffix(rg, "-") {
+		if n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(rg, "bytes="), "-"), 10, 64); err == nil && n > 0 && n < int64(len(raw)) {
+			start = n
+		}
+	}
+	body := append([]byte(nil), raw[start:]...)
+	if corrupt && len(body) > 0 {
+		body[len(body)/2] ^= 0x20
+	}
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if start > 0 {
+		w.Header().Set("Content-Range",
+			"bytes "+strconv.FormatInt(start, 10)+"-"+strconv.Itoa(len(raw)-1)+"/"+strconv.Itoa(len(raw)))
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	if trunc && len(body) > 1 {
+		// Write half of a longer-advertised body: the server closes the
+		// connection short and the client sees an unexpected EOF.
+		w.Write(body[:len(body)/2])
+		return
+	}
+	w.Write(body)
+}
+
+func shardNames(t *testing.T, dir string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, dataset.ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m dataset.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, sh := range m.Shards {
+		names = append(names, sh.File)
+	}
+	return names
+}
+
+// TestFetchVerifiedRetryAndResume pins the shard-download robustness
+// contract: a corrupted stream is detected by client-side verification
+// and refetched whole, a truncated stream resumes from the received
+// prefix via a Range request, and the fetched directory ends up
+// byte-identical to the server's dataset.
+func TestFetchVerifiedRetryAndResume(t *testing.T) {
+	src := t.TempDir()
+	captureSmall(t, src)
+	shards := shardNames(t, src)
+	if len(shards) < 2 {
+		t.Fatalf("want at least 2 shards, got %v", shards)
+	}
+
+	fs := newFlakyFileServer(src)
+	fs.corruptLeft[shards[0]] = 1
+	fs.truncateLeft[shards[len(shards)-1]] = 1
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	tel := telemetry.New(nil)
+	dest := t.TempDir()
+	if _, err := dataset.Fetch(srv.URL, dest, dataset.FetchOptions{
+		Attempts:  5,
+		Telemetry: tel,
+		Sleep:     func(time.Duration) {},
+	}); err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+
+	want, got := dirBytes(t, src), dirBytes(t, dest)
+	if len(want) != len(got) {
+		t.Fatalf("fetched %d files, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("file %s differs from server copy", name)
+		}
+	}
+
+	snap := tel.Snapshot()
+	if snap.Counters["dataset.fetch.retries"] < 2 {
+		t.Errorf("retries counter = %d, want >= 2", snap.Counters["dataset.fetch.retries"])
+	}
+	if snap.Counters["dataset.fetch.corrupt"] < 1 {
+		t.Errorf("corrupt counter = %d, want >= 1", snap.Counters["dataset.fetch.corrupt"])
+	}
+	if snap.Counters["dataset.fetch.resumes"] < 1 {
+		t.Errorf("resumes counter = %d, want >= 1", snap.Counters["dataset.fetch.resumes"])
+	}
+
+	// The fetched dataset is readable and restorable.
+	if _, err := dataset.Read(dest, nil); err != nil {
+		t.Fatalf("Read(fetched): %v", err)
+	}
+}
+
+// TestFetchGivesUpBounded pins that a persistently corrupt shard fails
+// the fetch after exactly Attempts tries, not an unbounded loop.
+func TestFetchGivesUpBounded(t *testing.T) {
+	src := t.TempDir()
+	captureSmall(t, src)
+	shards := shardNames(t, src)
+
+	fs := newFlakyFileServer(src)
+	fs.corruptLeft[shards[0]] = 1 << 30
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	_, err := dataset.Fetch(srv.URL, t.TempDir(), dataset.FetchOptions{
+		Attempts: 3,
+		Sleep:    func(time.Duration) {},
+	})
+	if err == nil {
+		t.Fatal("Fetch succeeded against a permanently corrupt shard")
+	}
+	if !strings.Contains(err.Error(), "gave up after 3 attempts") {
+		t.Fatalf("error %q does not report bounded give-up", err)
+	}
+	if got := fs.hitCount(shards[0]); got != 3 {
+		t.Fatalf("server saw %d attempts for %s, want 3", got, shards[0])
+	}
+}

@@ -160,6 +160,14 @@ func readManifest(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: open %s: %w", dir, err)
 	}
+	return decodeManifest(raw, dir)
+}
+
+// decodeManifest parses and validates raw manifest bytes; dir names the
+// source (a directory or a URL) for error messages. Fetch shares it
+// with readManifest so remote manifests face the same scrutiny as local
+// ones.
+func decodeManifest(raw []byte, dir string) (*Manifest, error) {
 	m := &Manifest{}
 	if err := json.Unmarshal(raw, m); err != nil {
 		return nil, corruptf("parse manifest in %s: %v", dir, err)

@@ -1,0 +1,213 @@
+// Fabric-level fault plans. Where Plan perturbs individual simulated
+// TLS connections inside one study, FabricPlan perturbs the distributed
+// study fabric itself: it decides, deterministically from a seed,
+// whether a worker process dies after finishing a job, whether a
+// heartbeat probe is dropped on the floor, and whether a dataset shard
+// stream reaches the coordinator corrupted or truncated. The
+// coordinator chaos tests inject these decisions at the HTTP transport
+// (see coord.ChaosProxy), so the coordinator's recovery machinery —
+// lease expiry, requeue-with-exclusion, verified shard refetch — is
+// exercised on a reproducible schedule instead of by luck.
+package fault
+
+import (
+	"sync/atomic"
+)
+
+// FabricProfile sets the per-event probabilities of fabric faults.
+// Kill is rolled once per completed job stream on a worker; Heartbeat
+// per readiness probe; Corrupt/Truncate per shard-file response.
+type FabricProfile struct {
+	Name string
+
+	// Kill is the probability that a worker dies for good immediately
+	// after streaming a completed job's dataset.
+	Kill float64
+	// MaxKills bounds the total worker deaths per plan, so a chaos run
+	// keeps a quorum alive; 0 means unbounded. The bound is claimed
+	// first-come (the per-worker decisions stay deterministic; which
+	// worker wins a race for the last slot depends on scheduling).
+	MaxKills int
+
+	// Heartbeat is the probability that one readiness probe is dropped
+	// (connection severed with no response).
+	Heartbeat float64
+
+	// Corrupt / Truncate are the per-shard-response probabilities that
+	// the streamed bytes are damaged in flight: one byte flipped, or the
+	// body cut short. Mutually exclusive per response; Corrupt wins.
+	Corrupt  float64
+	Truncate float64
+}
+
+// FabricProfiles are the named fabric profiles the chaos matrix and the
+// CLI expose.
+var FabricProfiles = map[string]FabricProfile{
+	"calm": {Name: "calm"},
+	// unstable damages streams and drops heartbeats but keeps every
+	// worker alive: runs always complete, the recovery paths do the work.
+	"unstable": {
+		Name:      "unstable",
+		Heartbeat: 0.10,
+		Corrupt:   0.15, Truncate: 0.15,
+	},
+	// hostile additionally kills workers (bounded to one death so a
+	// multi-worker fleet keeps a quorum and the study can still finish).
+	"hostile": {
+		Name: "hostile",
+		Kill: 0.35, MaxKills: 1,
+		Heartbeat: 0.15,
+		Corrupt:   0.20, Truncate: 0.20,
+	},
+}
+
+// StreamFault is a fabric verdict for one shard stream.
+type StreamFault int
+
+const (
+	// StreamClean passes the bytes through untouched.
+	StreamClean StreamFault = iota
+	// StreamCorrupt flips one byte of the response body.
+	StreamCorrupt
+	// StreamTruncate cuts the body short and severs the connection.
+	StreamTruncate
+)
+
+// String returns the fault's telemetry segment.
+func (f StreamFault) String() string {
+	switch f {
+	case StreamCorrupt:
+		return "corrupt"
+	case StreamTruncate:
+		return "truncate"
+	default:
+		return "clean"
+	}
+}
+
+// StreamVerdict pairs a stream fault with seeded entropy for its
+// byte-level parameters (flip offset and mask, truncation cut point).
+type StreamVerdict struct {
+	Fault StreamFault
+	Rand  uint64
+}
+
+// Additional hash streams for the fabric decisions, disjoint from the
+// connection plan's so a shared seed never correlates the two layers.
+const (
+	streamFabricKill uint64 = iota + 16
+	streamFabricHeartbeat
+	streamFabricStream
+	streamFabricEntropy
+)
+
+// FabricPlan is a seeded fabric fault schedule. Every decision is a
+// pure function of (seed, worker name, ordinal), so a worker's fate is
+// identical run to run regardless of goroutine scheduling; only the
+// shared MaxKills budget is claimed first-come. Safe for concurrent
+// use.
+type FabricPlan struct {
+	seed uint64
+	prof FabricProfile
+
+	kills      atomic.Int64
+	heartbeats atomic.Int64
+	corrupts   atomic.Int64
+	truncates  atomic.Int64
+}
+
+// NewFabricPlan builds a fabric plan from a seed and a profile.
+func NewFabricPlan(seed uint64, prof FabricProfile) *FabricPlan {
+	return &FabricPlan{seed: seed, prof: prof}
+}
+
+// Seed returns the plan's seed.
+func (p *FabricPlan) Seed() uint64 { return p.seed }
+
+// Profile returns the plan's profile.
+func (p *FabricPlan) Profile() FabricProfile { return p.prof }
+
+// hash derives the fabric decision value for (stream, worker, ordinal)
+// with the same splitmix64 chain the connection plan uses.
+func (p *FabricPlan) hash(stream uint64, key string, ord uint64) uint64 {
+	h := splitmix64(p.seed ^ stream*0x9e3779b97f4a7c15)
+	for i := 0; i < len(key); i++ {
+		h = splitmix64(h ^ uint64(key[i]))
+	}
+	return splitmix64(h ^ ord)
+}
+
+// KillWorker decides whether worker dies after its ord'th completed job
+// stream (1-based). The per-worker roll is deterministic; the MaxKills
+// budget is decremented atomically so a plan never kills more workers
+// than the profile allows.
+func (p *FabricPlan) KillWorker(worker string, ord uint64) bool {
+	if p.prof.Kill <= 0 {
+		return false
+	}
+	if frac(p.hash(streamFabricKill, worker, ord)) >= p.prof.Kill {
+		return false
+	}
+	if max := p.prof.MaxKills; max > 0 {
+		for {
+			n := p.kills.Load()
+			if n >= int64(max) {
+				return false
+			}
+			if p.kills.CompareAndSwap(n, n+1) {
+				return true
+			}
+		}
+	}
+	p.kills.Add(1)
+	return true
+}
+
+// DropHeartbeat decides whether worker's ord'th readiness probe is
+// dropped.
+func (p *FabricPlan) DropHeartbeat(worker string, ord uint64) bool {
+	if p.prof.Heartbeat <= 0 {
+		return false
+	}
+	if frac(p.hash(streamFabricHeartbeat, worker, ord)) >= p.prof.Heartbeat {
+		return false
+	}
+	p.heartbeats.Add(1)
+	return true
+}
+
+// Stream decides the fate of worker's ord'th shard-file response. The
+// verdict's Rand carries the seeded entropy that picks the flipped byte
+// or the cut point.
+func (p *FabricPlan) Stream(worker string, ord uint64) StreamVerdict {
+	v := StreamVerdict{Rand: p.hash(streamFabricEntropy, worker, ord)}
+	r := frac(p.hash(streamFabricStream, worker, ord))
+	switch {
+	case r < p.prof.Corrupt:
+		v.Fault = StreamCorrupt
+		p.corrupts.Add(1)
+	case r < p.prof.Corrupt+p.prof.Truncate:
+		v.Fault = StreamTruncate
+		p.truncates.Add(1)
+	}
+	return v
+}
+
+// Counts reports how many fabric faults the plan has injected, keyed by
+// fault name. Zero-count entries are omitted.
+func (p *FabricPlan) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	if v := p.kills.Load(); v > 0 {
+		out["kill"] = v
+	}
+	if v := p.heartbeats.Load(); v > 0 {
+		out["heartbeat_drop"] = v
+	}
+	if v := p.corrupts.Load(); v > 0 {
+		out["stream_corrupt"] = v
+	}
+	if v := p.truncates.Load(); v > 0 {
+		out["stream_truncate"] = v
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package fault
+
+import "testing"
+
+// TestFabricPlanDeterministic pins that fabric decisions are pure
+// functions of (seed, worker, ordinal): two plans with the same seed
+// agree decision for decision, and a different seed diverges somewhere.
+func TestFabricPlanDeterministic(t *testing.T) {
+	prof := FabricProfiles["hostile"]
+	prof.MaxKills = 0 // unbounded, so kill rolls are order-independent too
+	a := NewFabricPlan(7, prof)
+	b := NewFabricPlan(7, prof)
+	c := NewFabricPlan(8, prof)
+
+	workers := []string{"w0", "w1", "w2"}
+	diverged := false
+	for _, w := range workers {
+		for ord := uint64(1); ord <= 64; ord++ {
+			if a.KillWorker(w, ord) != b.KillWorker(w, ord) {
+				t.Fatalf("kill decision diverged for %s ord %d under equal seeds", w, ord)
+			}
+			if a.DropHeartbeat(w, ord) != b.DropHeartbeat(w, ord) {
+				t.Fatalf("heartbeat decision diverged for %s ord %d under equal seeds", w, ord)
+			}
+			av, bv := a.Stream(w, ord), b.Stream(w, ord)
+			if av != bv {
+				t.Fatalf("stream verdict diverged for %s ord %d: %+v vs %+v", w, ord, av, bv)
+			}
+			cv := c.Stream(w, ord)
+			if av != cv || a.DropHeartbeat(w, ord+1000) != c.DropHeartbeat(w, ord+1000) {
+				diverged = true
+			}
+			// keep c's kill counter advancing comparably
+			c.KillWorker(w, ord)
+		}
+	}
+	if !diverged {
+		t.Fatalf("seeds 7 and 8 produced identical fabric schedules over 192 decisions")
+	}
+}
+
+// TestFabricPlanMaxKills pins that the kill budget bounds total deaths.
+func TestFabricPlanMaxKills(t *testing.T) {
+	prof := FabricProfile{Name: "t", Kill: 1.0, MaxKills: 2}
+	p := NewFabricPlan(1, prof)
+	killed := 0
+	for ord := uint64(1); ord <= 100; ord++ {
+		if p.KillWorker("w", ord) {
+			killed++
+		}
+	}
+	if killed != 2 {
+		t.Fatalf("MaxKills=2 but plan killed %d times", killed)
+	}
+	if got := p.Counts()["kill"]; got != 2 {
+		t.Fatalf("Counts()[kill] = %d, want 2", got)
+	}
+}
+
+// TestFabricPlanCalmIsSilent pins that the calm profile injects nothing.
+func TestFabricPlanCalmIsSilent(t *testing.T) {
+	p := NewFabricPlan(99, FabricProfiles["calm"])
+	for ord := uint64(1); ord <= 200; ord++ {
+		if p.KillWorker("w", ord) || p.DropHeartbeat("w", ord) {
+			t.Fatalf("calm profile injected a fault at ordinal %d", ord)
+		}
+		if v := p.Stream("w", ord); v.Fault != StreamClean {
+			t.Fatalf("calm profile damaged stream at ordinal %d: %v", ord, v.Fault)
+		}
+	}
+	if n := len(p.Counts()); n != 0 {
+		t.Fatalf("calm plan reported %d fault counts, want 0", n)
+	}
+}

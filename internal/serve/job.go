@@ -62,6 +62,17 @@ type JobSpec struct {
 	// Gzip compresses the persisted dataset's shards.
 	Gzip bool `json:"gzip,omitempty"`
 
+	// NoTrace disables the study's causal trace tree. Coordinated
+	// device-subset jobs set it: per-worker span trees are rooted in
+	// each process and can never merge into the single-node tree, so a
+	// distributed study is defined as trace-free (see DESIGN).
+	NoTrace bool `json:"no_trace,omitempty"`
+
+	// Lease binds the job to a coordinator lease (see POST /leases): if
+	// the lease expires — the coordinator stopped heartbeating — the
+	// job is cancelled rather than left running as an orphan.
+	Lease string `json:"lease,omitempty"`
+
 	// Inputs name the datasets analyze/merge consume: either the ID of
 	// a finished job with a dataset, or a directory name under the
 	// service's data root.
@@ -84,6 +95,8 @@ type Job struct {
 	state     string
 	err       string
 	degraded  bool
+	cancelAsk bool        // Cancel was requested while running
+	cancelWhy string      // operator-facing cancel reason
 	study     *core.Study // non-nil while a KindStudy job runs
 	tel       *telemetry.Registry
 	submitted time.Time
@@ -212,6 +225,8 @@ type Manager struct {
 
 	baseCtx context.Context
 	stop    context.CancelFunc
+
+	leaseTab leaseTable
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -359,11 +374,22 @@ func (j *Job) run(ctx context.Context) {
 	case KindMerge:
 		err = j.runMerge()
 	}
+	if cancelled, why := j.cancelRequested(); cancelled {
+		j.finish(StateCancelled, why, degraded)
+		return
+	}
 	if err != nil {
 		j.finish(StateFailed, err.Error(), degraded)
 		return
 	}
 	j.finish(StateDone, "", degraded)
+}
+
+// cancelRequested reports whether Cancel hit the job while it ran.
+func (j *Job) cancelRequested() (bool, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelAsk, j.cancelWhy
 }
 
 // finish moves the job to a terminal state.
@@ -398,7 +424,44 @@ func (j *Job) config() (core.Config, error) {
 		WindowFrom:   from,
 		WindowTo:     to,
 		Devices:      j.Spec.Devices,
+		NoTrace:      j.Spec.NoTrace,
 	}, nil
+}
+
+// Cancel requests that a job stop. A queued job is released before it
+// ever runs; a running study job is interrupted at its next month
+// boundary and finishes StateCancelled without persisting a dataset.
+// reason lands in the job's terminal status. Cancelling a job already
+// in a terminal state is an error.
+func (m *Manager) Cancel(id, reason string) (*Job, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("serve: no job %q", id)
+	}
+	if reason == "" {
+		reason = "cancelled by request"
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.cancelAsk = true
+		j.cancelWhy = reason
+		j.mu.Unlock()
+		j.cancel()
+	case StateRunning:
+		j.cancelAsk = true
+		j.cancelWhy = reason
+		if j.study != nil {
+			j.study.Interrupt()
+		}
+		j.mu.Unlock()
+	default:
+		state := j.state
+		j.mu.Unlock()
+		return j, fmt.Errorf("serve: job %s is already %s", id, state)
+	}
+	m.proc.Counter("serve.jobs.cancel_requested").Inc()
+	return j, nil
 }
 
 // runStudy executes a full capture+analyze pipeline: simulate, persist
@@ -422,16 +485,24 @@ func (j *Job) runStudy() (degraded bool, err error) {
 	j.study = s
 	j.tel = s.Telemetry
 	draining := j.m.isDraining()
+	cancelled := j.cancelAsk
 	j.mu.Unlock()
-	if draining {
-		// Drain began between submission and the grant: don't start
-		// simulating work the operator asked the process to wind down.
+	if draining || cancelled {
+		// Drain (or a cancel) began between submission and the grant:
+		// don't start simulating work nobody wants finished.
 		s.Interrupt()
 	}
 
 	rep, err := s.RunAll()
 	if err != nil {
 		return false, err
+	}
+	if cancelled, _ := j.cancelRequested(); cancelled {
+		// A cancelled study stops at the interrupt's month boundary and
+		// persists nothing: the requester — a coordinator discarding a
+		// speculation loser, or the lease janitor reaping an orphan —
+		// must never find a partial dataset where a real one belongs.
+		return rep.Degraded(), nil
 	}
 	degraded = rep.Degraded()
 	ds := dataset.FromStudy(s, rep)

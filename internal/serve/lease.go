@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// A Lease is a coordinator's registration with a worker: "I own the
+// jobs tagged with this ID; if I stop renewing, reap them." It is the
+// worker-side half of the fabric's death detection — the coordinator
+// detects dead workers by missed readiness probes, and the worker
+// detects a dead coordinator by an expired lease, cancelling the
+// orphaned jobs instead of burning budget on results nobody will fetch.
+type Lease struct {
+	ID    string    `json:"id"`
+	Owner string    `json:"owner"`
+	TTL   int64     `json:"ttl_ms"`
+	Until time.Time `json:"until"`
+}
+
+// DefaultLeaseTTL applies when a lease is created without one.
+const DefaultLeaseTTL = 10 * time.Second
+
+// leaseTable tracks the manager's active leases. Expiry is enforced by
+// a lazy janitor goroutine (started on first grant, stopped with the
+// manager) and by ExpireLeases, which tests call directly with a pinned
+// clock.
+type leaseTable struct {
+	mu     sync.Mutex
+	nextID int
+	leases map[string]*Lease
+	once   sync.Once
+}
+
+// Grant creates a lease for owner with the given TTL (0 means
+// DefaultLeaseTTL).
+func (m *Manager) Grant(owner string, ttl time.Duration) *Lease {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	lt := &m.leaseTab
+	lt.mu.Lock()
+	if lt.leases == nil {
+		lt.leases = make(map[string]*Lease)
+	}
+	lt.nextID++
+	l := &Lease{
+		ID:    fmt.Sprintf("lease-%06d", lt.nextID),
+		Owner: owner,
+		TTL:   ttl.Milliseconds(),
+		Until: time.Now().Add(ttl),
+	}
+	lt.leases[l.ID] = l
+	lt.mu.Unlock()
+	m.proc.Counter("serve.leases.granted").Inc()
+	lt.once.Do(func() { go m.leaseJanitor() })
+	return l
+}
+
+// Renew extends a lease by its TTL. False means the lease is unknown —
+// expired and reaped, or never granted — and the caller must re-register.
+func (m *Manager) Renew(id string) (*Lease, bool) {
+	lt := &m.leaseTab
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.leases[id]
+	if !ok {
+		return nil, false
+	}
+	l.Until = time.Now().Add(time.Duration(l.TTL) * time.Millisecond)
+	cp := *l
+	return &cp, true
+}
+
+// Release drops a lease without touching its jobs (the clean-shutdown
+// path: the coordinator has already collected or cancelled them).
+func (m *Manager) Release(id string) bool {
+	lt := &m.leaseTab
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if _, ok := lt.leases[id]; !ok {
+		return false
+	}
+	delete(lt.leases, id)
+	return true
+}
+
+// ExpireLeases reaps every lease whose deadline is behind now and
+// cancels the non-terminal jobs bound to it, returning how many leases
+// were reaped. The janitor calls it on a ticker; tests call it with a
+// chosen clock.
+func (m *Manager) ExpireLeases(now time.Time) int {
+	lt := &m.leaseTab
+	lt.mu.Lock()
+	var dead []string
+	for id, l := range lt.leases {
+		if l.Until.Before(now) {
+			dead = append(dead, id)
+			delete(lt.leases, id)
+		}
+	}
+	lt.mu.Unlock()
+	if len(dead) == 0 {
+		return 0
+	}
+	expired := make(map[string]bool, len(dead))
+	for _, id := range dead {
+		expired[id] = true
+		m.proc.Counter("serve.leases.expired").Inc()
+	}
+	for _, j := range m.Jobs() {
+		if !expired[j.Spec.Lease] {
+			continue
+		}
+		switch j.State() {
+		case StateQueued, StateRunning:
+			if _, err := m.Cancel(j.ID, fmt.Sprintf("lease %s expired", j.Spec.Lease)); err == nil {
+				m.proc.Counter("serve.jobs.orphaned").Inc()
+			}
+		}
+	}
+	return len(dead)
+}
+
+// leaseJanitor enforces lease expiry until the manager closes.
+func (m *Manager) leaseJanitor() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case now := <-t.C:
+			m.ExpireLeases(now)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/telemetry"
@@ -22,32 +23,74 @@ const CRCHeader = "X-IoTLS-CRC32"
 // RetryAfterSeconds is the backpressure hint on 429 responses.
 const RetryAfterSeconds = 5
 
+// DefaultWriteTimeout bounds how long one response write may block on a
+// stalled client before the connection is cut. Event streams and shard
+// transfers extend it ahead of every chunk, so progress never times out
+// — only a peer that stopped reading does.
+const DefaultWriteTimeout = 30 * time.Second
+
 // Server is the HTTP face of a Manager.
 type Server struct {
-	m   *Manager
-	mux *http.ServeMux
+	m            *Manager
+	mux          *http.ServeMux
+	writeTimeout time.Duration
 }
 
 // NewServer wires the API routes around m.
 func NewServer(m *Manager) *Server {
-	s := &Server{m: m, mux: http.NewServeMux()}
+	s := &Server{m: m, mux: http.NewServeMux(), writeTimeout: DefaultWriteTimeout}
 	s.mux.HandleFunc("POST /jobs", s.submitJob)
 	s.mux.HandleFunc("GET /jobs", s.listJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.getJob)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.cancelJob)
 	s.mux.HandleFunc("GET /jobs/{id}/artifacts", s.listArtifacts)
 	s.mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.getArtifact)
 	s.mux.HandleFunc("GET /jobs/{id}/dataset", s.getDatasetIndex)
 	s.mux.HandleFunc("GET /jobs/{id}/dataset/{file}", s.getDatasetFile)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.jobEvents)
+	s.mux.HandleFunc("POST /leases", s.grantLease)
+	s.mux.HandleFunc("PUT /leases/{id}", s.renewLease)
+	s.mux.HandleFunc("DELETE /leases/{id}", s.releaseLease)
 	s.mux.HandleFunc("GET /metrics", s.processMetrics)
 	s.mux.HandleFunc("GET /metrics/jobs/{id}", s.jobMetrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /livez", s.livez)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	return s
+}
+
+// SetWriteTimeout overrides the per-write stall bound (0 disables it;
+// tests that pause mid-stream use that).
+func (s *Server) SetWriteTimeout(d time.Duration) { s.writeTimeout = d }
+
+// extendWriteDeadline pushes the response connection's write deadline
+// writeTimeout into the future; unsupported writers (test recorders)
+// are left alone.
+func (s *Server) extendWriteDeadline(w http.ResponseWriter) {
+	if s.writeTimeout <= 0 {
+		return
+	}
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(s.writeTimeout))
+}
+
+// deadlineWriter re-arms the write deadline ahead of every chunk of a
+// long transfer: steady progress never expires, a stalled client's
+// connection dies within writeTimeout instead of pinning the handler
+// goroutine forever.
+type deadlineWriter struct {
+	http.ResponseWriter
+	s *Server
+}
+
+func (dw *deadlineWriter) Write(p []byte) (int, error) {
+	dw.s.extendWriteDeadline(dw.ResponseWriter)
+	return dw.ResponseWriter.Write(p)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.m.proc.Counter("serve.http.requests").Inc()
+	s.extendWriteDeadline(w)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -175,8 +218,13 @@ func (s *Server) getArtifact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "job %s artifact %q: %v", j.ID, name, err)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.Copy(w, f)
+	http.ServeContent(&deadlineWriter{w, s}, r, "", fi.ModTime(), f)
 }
 
 // datasetManifest loads the job's dataset manifest or writes an error.
@@ -244,8 +292,16 @@ func (s *Server) getDatasetFile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "job %s dataset %q: %v", j.ID, name, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	io.Copy(w, f)
+	// ServeContent handles byte ranges, so a coordinator whose stream
+	// was cut mid-shard resumes from the received prefix instead of
+	// refetching the whole file.
+	http.ServeContent(&deadlineWriter{w, s}, r, "", fi.ModTime(), f)
 	s.m.proc.Counter("serve.dataset.streams").Inc()
 }
 
@@ -287,16 +343,100 @@ func (s *Server) jobMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthz handles GET /healthz.
+// health is the liveness/readiness payload shape.
+type health struct {
+	Status string `json:"status"`
+	Budget int    `json:"budget"`
+	InUse  int    `json:"in_use"`
+	Queued int    `json:"queued"`
+}
+
+// healthz handles GET /healthz — the legacy combined probe, kept for
+// compatibility: always 200, status reports draining.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	state := "ok"
 	if s.m.isDraining() {
 		state = "draining"
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-		Budget int    `json:"budget"`
-		InUse  int    `json:"in_use"`
-		Queued int    `json:"queued"`
-	}{state, s.m.sched.Budget(), s.m.sched.InUse(), s.m.sched.QueueLen()})
+	writeJSON(w, http.StatusOK, health{state, s.m.sched.Budget(), s.m.sched.InUse(), s.m.sched.QueueLen()})
+}
+
+// livez handles GET /livez — pure liveness: 200 as long as the process
+// answers, draining or not. A supervisor keys restarts off this.
+func (s *Server) livez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, health{Status: "ok"})
+}
+
+// readyz handles GET /readyz — readiness to accept jobs. A draining
+// worker answers 503 with its queue depth, so a coordinator stops
+// dispatching to it (and lets in-flight jobs finish) instead of eating
+// submit rejections. The coordinator's heartbeat is exactly this probe.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	h := health{Status: "ok", Budget: s.m.sched.Budget(), InUse: s.m.sched.InUse(), Queued: s.m.sched.QueueLen()}
+	code := http.StatusOK
+	if s.m.isDraining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// cancelJob handles POST /jobs/{id}/cancel: stop a queued or running
+// job (running studies cut at the next month boundary and persist
+// nothing). 409 if the job is already terminal.
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	reason := r.URL.Query().Get("reason")
+	j, err := s.m.Cancel(id, reason)
+	if err != nil {
+		code := http.StatusNotFound
+		if j != nil {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.StatusNow())
+}
+
+// leaseRequest is the POST /leases body.
+type leaseRequest struct {
+	Owner string `json:"owner"`
+	TTLms int64  `json:"ttl_ms,omitempty"`
+}
+
+// grantLease handles POST /leases: register a coordinator with this
+// worker. Jobs submitted with the returned lease ID are reaped if the
+// coordinator stops renewing.
+func (s *Server) grantLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	l := s.m.Grant(req.Owner, time.Duration(req.TTLms)*time.Millisecond)
+	writeJSON(w, http.StatusCreated, l)
+}
+
+// renewLease handles PUT /leases/{id}: extend the lease by its TTL.
+// 404 means the lease expired (or never existed) — the caller's jobs
+// may already be reaped and it must re-register before submitting more.
+func (s *Server) renewLease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	l, ok := s.m.Renew(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no lease %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, l)
+}
+
+// releaseLease handles DELETE /leases/{id}: drop the lease without
+// touching its jobs (the clean coordinator-shutdown path).
+func (s *Server) releaseLease(w http.ResponseWriter, r *http.Request) {
+	if !s.m.Release(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no lease %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
