@@ -1,16 +1,18 @@
 GO ?= go
 
-.PHONY: check build test race race-parallel chaos dataset serve trace cluster vet bench bench-telemetry bench-gate profile clean
+.PHONY: check build test race race-parallel chaos dataset serve trace cluster fleet vet bench bench-telemetry bench-gate profile clean
 
 # check is the full verification gate: vet, build, the test suite under
 # the race detector, the parallel-study workload under the race
 # detector at eight workers, the fault-injection chaos matrix, the
 # dataset round-trip and merge determinism suite, the study-service
 # scheduler/drain suite, and the trace determinism/attribution/leak
-# suite. Set BENCH_GATE=1 to additionally run the performance
+# suite, and the fleet-scale smoke (10k synthetic devices through the
+# month-spill path under a peak-RSS ceiling). Set BENCH_GATE=1 to
+# additionally run the performance
 # regression gate (off by default: it re-measures codec throughput, so
 # it is meaningful only on quiet, comparable hardware).
-check: vet build race race-parallel chaos dataset serve trace cluster
+check: vet build race race-parallel chaos dataset serve trace cluster fleet
 ifneq ($(BENCH_GATE),)
 check: bench-gate
 endif
@@ -46,7 +48,7 @@ chaos:
 # the on-disk bytes, provenance collisions are rejected, and corrupted
 # shards or manifests always surface wrapped errors.
 dataset:
-	$(GO) test -race -run 'TestRoundTripByteIdentical|TestMerge|TestCorrupt|TestGoldenFixture' \
+	$(GO) test -race -run 'TestRoundTripByteIdentical|TestStreamingSpill|TestMerge|TestCorrupt|TestGoldenFixture' \
 		-count=1 -timeout 10m ./internal/dataset/
 
 # serve pins the study-service contracts under the race detector: the
@@ -71,6 +73,14 @@ cluster:
 	$(GO) test -race -run 'TestCancel|TestLease|TestReadyz|TestFetch' \
 		-count=1 -timeout 10m ./internal/serve/ ./internal/dataset/ ./internal/fault/
 
+# fleet is the scale smoke: the synthetic-fleet generator's
+# subset-composability contract, plus a 10k-device two-month window
+# through the streaming month-spill path asserting peak RSS stays
+# under the memory-bounded engine's ceiling. `go test -short` drops
+# the fleet to 1k devices for quick iteration.
+fleet:
+	$(GO) test -run 'TestFleetSmoke|TestFleetDeterminism' -count=1 -timeout 15m ./internal/fleet/
+
 # trace pins the causal-trace contracts under the race detector: an
 # aggressive-fault study at parallelism 1 and 8 emits byte-identical
 # trace.bin shards and Chrome exports, passive-phase abandonments are
@@ -88,8 +98,10 @@ trace:
 # analyze-from-disk vs resimulate speedup into BENCH_dataset.json,
 # service throughput into BENCH_serve.json, the always-on tracing
 # overhead (traced vs -no-trace, budget 5%) into BENCH_trace.json,
-# and single-node vs coordinated-fleet wall time (the distribution
-# overhead ratio on one machine) into BENCH_coord.json.
+# single-node vs coordinated-fleet wall time (the distribution
+# overhead ratio on one machine) into BENCH_coord.json, and the
+# fleet-scale memory profile (peak RSS at 10k and 100k synthetic
+# devices, each measured in its own process) into BENCH_fleet.json.
 bench:
 	$(GO) test ./internal/core/ -run TestEmitStudyBench -count=1 -timeout 30m \
 		-study.benchout=$(CURDIR)/BENCH_study.json
@@ -103,6 +115,8 @@ bench:
 		-trace.benchout=$(CURDIR)/BENCH_trace.json
 	$(GO) test ./internal/coord/ -run TestEmitCoordBench -count=1 -timeout 30m \
 		-coord.benchout=$(CURDIR)/BENCH_coord.json
+	$(GO) test ./internal/fleet/ -run TestEmitFleetBench -count=1 -timeout 60m \
+		-fleet.benchout=$(CURDIR)/BENCH_fleet.json
 
 # bench-telemetry runs the full study through `iotls metrics report`
 # and captures the deterministic telemetry report.

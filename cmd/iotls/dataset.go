@@ -18,6 +18,7 @@ func runCapture(args []string) error {
 	out := fs.String("out", "", "dataset directory to create (required)")
 	gz := fs.Bool("gzip", false, "gzip-compress shard files")
 	devices := fs.String("devices", "", "comma-separated device IDs to restrict the run to (default: all)")
+	stream := fs.Bool("stream", false, "stream each completed month to -out at the month barrier (memory-bounded; bytes identical to the default path)")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("capture: -out is required")
@@ -27,6 +28,26 @@ func runCapture(args []string) error {
 		if err := s.RestrictDevices(strings.Split(*devices, ",")); err != nil {
 			return err
 		}
+	}
+	if *stream {
+		sp, err := dataset.NewSpiller(*out, s, dataset.Options{Gzip: *gz, Telemetry: s.Telemetry})
+		if err != nil {
+			return err
+		}
+		rep, err := s.RunAll()
+		if err != nil {
+			sp.Abort()
+			return err
+		}
+		if err := sp.Finish(rep); err != nil {
+			sp.Abort()
+			return err
+		}
+		fmt.Printf("captured %d records (streamed per month) to %s\n", sp.Spilled(), *out)
+		if rep.Degraded() {
+			return fmt.Errorf("%w: %d incident(s) contained", errDegraded, len(rep.Degradations))
+		}
+		return nil
 	}
 	rep, err := s.RunAll()
 	if err != nil {

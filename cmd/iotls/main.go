@@ -8,6 +8,7 @@
 //	iotls fingerprint        capture an active snapshot and print Figure 5
 //	iotls report             run the full study and print every artifact
 //	iotls capture -out DIR   run the full study and persist a dataset directory
+//	iotls fleet -n N -seed S run a synthetic fleet through the streaming engine
 //	iotls analyze -in DIR    render every artifact from persisted datasets
 //	iotls dataset ...        inspect or merge dataset directories
 //	iotls tables             print the static methodology tables (1-4)
@@ -75,10 +76,14 @@ func main() {
 	window := global.String("window", "", "passive collection window FROM..TO, e.g. 2018-01..2018-06 (default: the full study)")
 	ioDeadline := global.Duration("io-deadline", 0, "wall-clock safety-net deadline for post-handshake I/O (0 = the 5s default)")
 	noTrace := global.Bool("no-trace", false, "disable the causal trace tree (on by default; capture persists it as trace.bin)")
+	fleetN := global.Int("fleet", 0, "replace the 40-device catalog with a synthetic fleet of N seeded devices (see `iotls fleet`)")
+	fleetSeed := global.Uint64("fleet-seed", 1, "sample seed for the synthetic fleet (with -fleet)")
 	global.Parse(os.Args[1:])
 	studyConfig.Parallelism = *parallel
 	studyConfig.IODeadline = *ioDeadline
 	studyConfig.NoTrace = *noTrace
+	studyConfig.FleetN = *fleetN
+	studyConfig.FleetSeed = *fleetSeed
 	if err := armStudyConfig(*faultSeed, *faultProfile, *window); err != nil {
 		fmt.Fprintln(os.Stderr, "iotls:", err)
 		os.Exit(2)
@@ -127,6 +132,8 @@ func main() {
 		err = runServe(args)
 	case "coordinate":
 		err = runCoordinate(args)
+	case "fleet":
+		err = runFleet(args)
 	case "metrics":
 		err = runMetrics(args)
 	case "trace":
@@ -181,6 +188,10 @@ commands:
   export       run the passive simulation and export JSONL (-o file)
   audit        grade every device's TLS offer via the audit service (§6)
   guard        boot all devices behind the gateway guard and report blocks (§6)
+  fleet        generate a synthetic N-device fleet and run its passive
+               window through the memory-bounded streaming engine
+               (-n N, -seed S; -out DIR streams a dataset, otherwise
+               records are counted and discarded; -devices subsets)
   metrics      run a phase (passive|active|probe|report) and print the
                JSON telemetry report (-o file, -months N)
   trace        analyze a captured run's trace shard:
@@ -215,6 +226,10 @@ flags:
                        failure signal)
   -no-trace            disable the causal trace tree (normally on;
                        capture persists it as trace.bin)
+  -fleet N             replace the 40-device catalog with a synthetic
+                       fleet of N seeded devices for any subcommand
+                       (capture, coordinate, ...); -fleet-seed S picks
+                       the sample (see the fleet command)
   -debug-addr ADDR     serve the live inspector (expvar at /debug/vars,
                        pprof at /debug/pprof/) on ADDR while running
 

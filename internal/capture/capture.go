@@ -298,6 +298,59 @@ func (b *WorkerBuffer) Flush() {
 	b.obs = b.obs[:0]
 }
 
+// TakeMonth removes and returns every observation and revocation event
+// belonging to month m, each in canonical order — the streaming engine's
+// spill primitive. The traffic generator calls it at the month barrier
+// (after WaitIdle has joined every sniffer and the worker buffers have
+// flushed), when all of month m's records are in the store and no later
+// month has begun; draining there keeps peak store size bounded by one
+// month's traffic instead of the whole run's. Because the canonical
+// observation order begins with the timestamp, and every month's
+// timestamps precede the next month's, sorting each drained month
+// independently yields exactly the per-month groups a whole-run
+// canonical sort would: the spilled shard bytes match the bulk path's.
+func (s *Store) TakeMonth(m clock.Month) ([]*Observation, []RevocationEvent) {
+	var obs []*Observation
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		kept := sh.obs[:0]
+		for _, o := range sh.obs {
+			if o.Month == m {
+				obs = append(obs, o)
+			} else {
+				kept = append(kept, o)
+			}
+		}
+		// Clear the tail so drained observations are collectable.
+		for j := len(kept); j < len(sh.obs); j++ {
+			sh.obs[j] = nil
+		}
+		sh.obs = kept
+		sh.mu.Unlock()
+	}
+	sortObservations(obs)
+	s.count.Add(-int64(len(obs)))
+	// Invalidate the sorted-snapshot cache: a snapshot built before the
+	// drain must not be served for the store's new contents.
+	s.gen.Add(1)
+
+	s.mu.Lock()
+	var revs []RevocationEvent
+	keptRev := s.rev[:0]
+	for _, ev := range s.rev {
+		if clock.MonthOf(ev.Time) == m {
+			revs = append(revs, ev)
+		} else {
+			keptRev = append(keptRev, ev)
+		}
+	}
+	s.rev = keptRev
+	s.mu.Unlock()
+	sortRevocations(revs)
+	return obs, revs
+}
+
 // All returns every observation in canonical order. The returned slice
 // is a shared snapshot: callers must not modify it.
 func (s *Store) All() []*Observation {
@@ -546,6 +599,15 @@ func (s *Store) Revocations() []RevocationEvent {
 	s.mu.Lock()
 	out := append([]RevocationEvent(nil), s.rev...)
 	s.mu.Unlock()
+	sortRevocations(out)
+	return out
+}
+
+// sortRevocations orders revocation events canonically (time, device,
+// host, kind) — like sortObservations, a time-first total order, so
+// per-month groups of a whole-run sort equal independently sorted
+// months.
+func sortRevocations(out []RevocationEvent) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if !a.Time.Equal(b.Time) {
@@ -559,7 +621,6 @@ func (s *Store) Revocations() []RevocationEvent {
 		}
 		return a.Kind < b.Kind
 	})
-	return out
 }
 
 // plainSniffer watches a plaintext connection for revocation-protocol

@@ -303,6 +303,7 @@ func splitDevices(cfg core.Config, n int) ([][]string, error) {
 	s, err := core.NewStudyFromConfig(core.Config{
 		Devices: cfg.Devices, NoTrace: true,
 		FaultSeed: cfg.FaultSeed, FaultProfile: cfg.FaultProfile,
+		FleetN: cfg.FleetN, FleetSeed: cfg.FleetSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -573,6 +574,8 @@ func (c *Coordinator) startAttempt(ctx context.Context, j *subJob, w *workerStat
 		Window:       windowString(c.opts.Config),
 		Devices:      j.devices,
 		NoTrace:      true,
+		FleetN:       c.opts.Config.FleetN,
+		FleetSeed:    c.opts.Config.FleetSeed,
 		Lease:        w.lease,
 	}
 	dest := filepath.Join(workDir, fmt.Sprintf("job-%03d-%s", j.index, w.name))
@@ -781,9 +784,16 @@ func (c *Coordinator) progress() (done, lost, inflight int) {
 	return
 }
 
+// minSpeculationThreshold floors the adaptive straggler threshold.
+// Without it, a fleet of near-instant jobs gives 3× the median a
+// (sub-)millisecond value, every sole attempt immediately qualifies as
+// a straggler, and the coordinator doubles cluster load speculating
+// against perfectly healthy workers.
+const minSpeculationThreshold = 250 * time.Millisecond
+
 // speculationThreshold is how long a sole attempt may run before a
 // backup is launched: the explicit option, or 3× the median completed
-// duration once there is one.
+// duration once there is one, floored at minSpeculationThreshold.
 func (c *Coordinator) speculationThreshold() (time.Duration, bool) {
 	if c.opts.SpeculateAfter > 0 {
 		return c.opts.SpeculateAfter, true
@@ -793,7 +803,10 @@ func (c *Coordinator) speculationThreshold() (time.Duration, bool) {
 	}
 	durs := append([]time.Duration(nil), c.durs...)
 	sort.Slice(durs, func(i, k int) bool { return durs[i] < durs[k] })
-	return 3 * durs[len(durs)/2], true
+	if t := 3 * durs[len(durs)/2]; t > minSpeculationThreshold {
+		return t, true
+	}
+	return minSpeculationThreshold, true
 }
 
 // checkStragglers launches speculative backups for jobs whose sole

@@ -270,6 +270,39 @@ func TestCoordSpeculationWins(t *testing.T) {
 	}
 }
 
+// TestNoSpeculationStormOnInstantJobs pins the adaptive straggler
+// threshold's floor: with a fleet of near-instant jobs, 3× the median
+// completed duration is (sub-)milliseconds, and without the floor
+// every healthy in-flight attempt instantly qualified as a straggler —
+// a speculation storm doubling cluster load for zero wins.
+func TestNoSpeculationStormOnInstantJobs(t *testing.T) {
+	c := New(Options{Workers: []string{"http://unused"}})
+	// Every completed subset finished in microseconds.
+	c.durs = []time.Duration{120 * time.Microsecond, 250 * time.Microsecond, 400 * time.Microsecond}
+
+	th, ok := c.speculationThreshold()
+	if !ok {
+		t.Fatal("no adaptive threshold despite completed durations")
+	}
+	if th < minSpeculationThreshold {
+		t.Fatalf("adaptive threshold %v is below the %v floor", th, minSpeculationThreshold)
+	}
+
+	// A healthy attempt a few milliseconds in, with an idle second
+	// worker eager to take a backup: no speculation may launch.
+	busy := &workerState{name: "w0", state: workerReady, inflight: 1}
+	idle := &workerState{name: "w1", state: workerReady}
+	c.workers = map[string]*workerState{"w0": busy, "w1": idle}
+	j := &subJob{index: 0, state: jobRunning, excluded: map[string]bool{}}
+	j.attempts = []*attempt{{job: j, worker: busy, started: time.Now().Add(-50 * time.Millisecond)}}
+	c.jobs = []*subJob{j}
+
+	c.checkStragglers(context.Background(), t.TempDir())
+	if got := counter(c.Telemetry(), "coord.speculative.launched"); got != 0 {
+		t.Fatalf("coord.speculative.launched = %d, want 0: instant jobs must not trigger speculation", got)
+	}
+}
+
 // TestCoordElasticJoinLeave pins mid-study fleet elasticity: a worker
 // joining after the study starts takes over the queue from a worker
 // asked to leave, and the run completes clean.

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/device"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/trace"
 )
 
@@ -37,6 +39,16 @@ type Config struct {
 	// Devices restricts the testbed to the named device IDs (sharded
 	// fleet capture); nil means the full fleet.
 	Devices []string
+
+	// FleetN, when positive, replaces the 40-device catalog with a
+	// synthetic fleet of FleetN seeded devices (see internal/fleet): the
+	// generator samples the catalog's dimensions — library × version ×
+	// root store × validation policy × resilience × destination mix —
+	// into deterministic device instances. FleetSeed selects the sample;
+	// the same (FleetN, FleetSeed) always builds the same fleet, so
+	// Devices subsetting and distributed coordination compose with it.
+	FleetN    int
+	FleetSeed uint64
 
 	// IODeadline overrides the wall-clock I/O safety-net deadline the
 	// network applies to post-handshake reads and writes; zero keeps
@@ -83,6 +95,9 @@ func (c Config) Validate() error {
 	if c.IODeadline < 0 {
 		return fmt.Errorf("core: negative I/O deadline %s", c.IODeadline)
 	}
+	if c.FleetN < 0 {
+		return fmt.Errorf("core: negative fleet size %d", c.FleetN)
+	}
 	return nil
 }
 
@@ -96,6 +111,12 @@ func NewStudyFromConfig(c Config) (*Study, error) {
 		return nil, err
 	}
 	s := NewStudy()
+	if c.FleetN > 0 {
+		spec := fleet.Spec{N: c.FleetN, Seed: c.FleetSeed}
+		s = NewStudyWithRegistry(func(clk clock.Clock) *device.Registry {
+			return fleet.NewRegistry(clk, spec)
+		})
+	}
 	s.Parallelism = c.Parallelism
 	s.PassiveFrom, s.PassiveTo = c.WindowFrom, c.WindowTo
 	if plan != nil {

@@ -80,6 +80,19 @@ type Study struct {
 	// thread-safe and must not block.
 	OnDegraded func(d Degradation)
 
+	// SpillMonth, when non-nil, arms the streaming (memory-bounded)
+	// engine: at every passive month barrier the completed month is
+	// drained from the capture store and handed to the hook in canonical
+	// order, so peak memory is bounded by one month's traffic instead of
+	// the whole run's — the fleet-scale capture mode. The dataset
+	// layer's Spiller installs it and appends each month to the on-disk
+	// shards; because both the observation and revocation canonical
+	// orders sort on time first, per-month spills reproduce the bulk
+	// writer's bytes exactly. While spilling, RunAll skips the in-memory
+	// passive analyses (the store is empty by design; artifacts are
+	// rendered from the persisted dataset via analyze/Restore instead).
+	SpillMonth func(m clock.Month, obs []*capture.Observation, revs []capture.RevocationEvent) error
+
 	workersOnce sync.Once
 	workers     int
 
@@ -173,9 +186,19 @@ func (s *Study) passiveWindow() (from, to clock.Month) {
 
 // NewStudy builds a fresh testbed with the gateway mirror armed.
 func NewStudy() *Study {
+	return NewStudyWithRegistry(device.NewRegistry)
+}
+
+// NewStudyWithRegistry builds a fresh testbed around a caller-supplied
+// registry constructor — the synthetic-fleet path, where the device set
+// is generated instead of the 40-device catalog. The constructor
+// receives the testbed's virtual clock; everything downstream (cloud
+// endpoints, capture, proxy, prober) is assembled around its devices
+// exactly as for the catalog.
+func NewStudyWithRegistry(mkReg func(clk clock.Clock) *device.Registry) *Study {
 	clk := clock.NewSimulated(device.StudyStart.Start())
 	nw := netem.New(clk)
-	reg := device.NewRegistry(clk)
+	reg := mkReg(clk)
 	cl := cloud.New(nw, reg)
 	store := capture.NewStore()
 	store.SetTelemetry(nw.Telemetry())
@@ -239,9 +262,19 @@ func (s *Study) RunPassiveWindow(from, to clock.Month) (*traffic.Stats, error) {
 	gen.Pool = s.workerSet
 	gen.Stop = s.Interrupted
 	gen.Trace = s.tracePhase
+	if s.SpillMonth != nil {
+		gen.MonthDone = s.spillMonth
+	}
 	stats, err := gen.Run(from, to)
 	sp.EndErr(err)
 	return stats, err
+}
+
+// spillMonth drains the completed month from the store and hands it to
+// the armed SpillMonth hook; it is the generator's MonthDone callback.
+func (s *Study) spillMonth(m clock.Month) error {
+	obs, revs := s.Store.TakeMonth(m)
+	return s.SpillMonth(m, obs, revs)
 }
 
 // advanceToActiveWindow moves the virtual clock to the 2021 snapshot.
@@ -448,6 +481,12 @@ func (s *Study) RunAll() (*Report, error) {
 	s.phase("passive_analysis", func() error {
 		sp := s.phaseSpan("passive_analysis")
 		defer sp.End("ok")
+		if s.SpillMonth != nil {
+			// Streaming mode: the passive months were drained to disk as
+			// they completed, so there is nothing in the store to analyse.
+			// Artifacts come from the persisted dataset (analyze/Restore).
+			return nil
+		}
 		rep.Figure1 = analysis.BuildFigure1(s.Store, nameOf)
 		rep.Figure2 = analysis.BuildFigure2(s.Store, nameOf)
 		rep.Figure3 = analysis.BuildFigure3(s.Store, nameOf)

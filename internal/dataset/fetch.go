@@ -165,6 +165,25 @@ func (f *fetcher) get(url string) ([]byte, error) {
 	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 }
 
+// contentRangeStart parses the first-byte position out of a
+// "bytes START-END/TOTAL" Content-Range header.
+func contentRangeStart(h string) (int64, bool) {
+	h = strings.TrimSpace(h)
+	rest, ok := strings.CutPrefix(h, "bytes ")
+	if !ok {
+		return 0, false
+	}
+	dash := strings.IndexByte(rest, '-')
+	if dash <= 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest[:dash], 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
 // pullShard downloads one shard with bounded verified retries.
 func (f *fetcher) pullShard(m *Manifest, sh ShardInfo) error {
 	path := filepath.Join(f.dest, sh.File)
@@ -222,6 +241,21 @@ func (f *fetcher) attemptShard(path string, m *Manifest, sh ShardInfo, resumable
 		// Full body (or the server ignored the Range): start over.
 	case http.StatusPartialContent:
 		appendTo = offset > 0
+		if appendTo {
+			// Trust but verify the splice point: a 206 is only appendable
+			// if the server's Content-Range starts exactly at our local
+			// prefix. A server that honours Range in form but not in
+			// substance (resuming from 0, or from a stale offset) would
+			// otherwise have its bytes spliced at the wrong position.
+			// Fall back to a full restart instead.
+			hdr := resp.Header.Get("Content-Range")
+			if start, ok := contentRangeStart(hdr); !ok || start != offset {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				os.Remove(path)
+				f.tel.Counter("dataset.fetch.restarts").Inc()
+				return fmt.Errorf("GET %s: 206 Content-Range %q does not resume at offset %d", sh.File, hdr, offset), true
+			}
+		}
 	case http.StatusRequestedRangeNotSatisfiable:
 		// Stale partial (the shard changed or shrank): refetch whole.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))

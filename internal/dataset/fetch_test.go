@@ -188,6 +188,88 @@ func TestFetchVerifiedRetryAndResume(t *testing.T) {
 	}
 }
 
+// rewindingRangeServer is a misbehaving byte-range server: it
+// truncates the first response for each file (forcing the client to
+// attempt a resume), then answers every Range request with a 206 whose
+// Content-Range — and body — restart from offset 0 instead of the
+// requested offset.
+type rewindingRangeServer struct {
+	dir string
+
+	mu   sync.Mutex
+	hits map[string]int
+}
+
+func (fs *rewindingRangeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	name := path.Base(r.URL.Path)
+	raw, err := os.ReadFile(filepath.Join(fs.dir, name))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	fs.mu.Lock()
+	fs.hits[name]++
+	first := fs.hits[name] == 1
+	fs.mu.Unlock()
+
+	w.Header().Set("Accept-Ranges", "bytes")
+	if r.Header.Get("Range") != "" {
+		// The lie: 206, but resuming from the start of the file.
+		w.Header().Set("Content-Range",
+			"bytes 0-"+strconv.Itoa(len(raw)-1)+"/"+strconv.Itoa(len(raw)))
+		w.WriteHeader(http.StatusPartialContent)
+		w.Write(raw)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	if first && len(raw) > 1 {
+		w.Write(raw[:len(raw)/2])
+		return
+	}
+	w.Write(raw)
+}
+
+// TestFetchRestartsOnBogusContentRange pins the resume-splice guard: a
+// 206 whose Content-Range does not start at the local resume offset
+// must trigger a full restart (counted as dataset.fetch.restarts), not
+// an append. Pre-guard, the mismatched body was spliced onto the local
+// prefix and only caught — wastefully — by post-download verification.
+func TestFetchRestartsOnBogusContentRange(t *testing.T) {
+	src := t.TempDir()
+	captureSmall(t, src)
+
+	fs := &rewindingRangeServer{dir: src, hits: make(map[string]int)}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	tel := telemetry.New(nil)
+	dest := t.TempDir()
+	if _, err := dataset.Fetch(srv.URL, dest, dataset.FetchOptions{
+		Attempts:  5,
+		Telemetry: tel,
+		Sleep:     func(time.Duration) {},
+	}); err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+
+	want, got := dirBytes(t, src), dirBytes(t, dest)
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("file %s differs from server copy", name)
+		}
+	}
+
+	snap := tel.Snapshot()
+	if snap.Counters["dataset.fetch.restarts"] < 1 {
+		t.Errorf("restarts counter = %d, want >= 1 (bogus Content-Range must force a restart)",
+			snap.Counters["dataset.fetch.restarts"])
+	}
+	if snap.Counters["dataset.fetch.corrupt"] != 0 {
+		t.Errorf("corrupt counter = %d, want 0: the splice guard must reject the response before any bytes land",
+			snap.Counters["dataset.fetch.corrupt"])
+	}
+}
+
 // TestFetchGivesUpBounded pins that a persistently corrupt shard fails
 // the fetch after exactly Attempts tries, not an unbounded loop.
 func TestFetchGivesUpBounded(t *testing.T) {

@@ -118,6 +118,95 @@ func TestRoundTripByteIdentical(t *testing.T) {
 	}
 }
 
+// streamCapture runs the full study with the month-spill streaming
+// path armed, persisting into dir as each passive month completes.
+func streamCapture(t *testing.T, parallelism int, dir string) {
+	t.Helper()
+	s := core.NewStudy()
+	s.Parallelism = parallelism
+	sp, err := dataset.NewSpiller(dir, s, dataset.Options{})
+	if err != nil {
+		t.Fatalf("NewSpiller: %v", err)
+	}
+	rep, err := s.RunAll()
+	if err != nil {
+		sp.Abort()
+		t.Fatalf("RunAll: %v", err)
+	}
+	if err := sp.Finish(rep); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if sp.Spilled() == 0 {
+		t.Fatal("streaming run spilled no passive records")
+	}
+}
+
+// TestStreamingSpillByteIdentical pins the memory-bounded engine's
+// contract: streaming each completed month to disk at the month
+// barrier produces a dataset directory byte-identical to the bulk
+// FromStudy+Write path — every shard and the manifest — at
+// parallelism 1 and 8, and the streamed dataset restores to the same
+// rendered artifacts as the in-memory run.
+func TestStreamingSpillByteIdentical(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		par := par
+		t.Run(map[int]string{1: "sequential", 8: "parallel8"}[par], func(t *testing.T) {
+			t.Parallel()
+			base := t.TempDir()
+
+			s, rep := runFull(t, par, nil)
+			bulkDir := filepath.Join(base, "bulk")
+			if err := dataset.Write(bulkDir, dataset.FromStudy(s, rep), dataset.Options{}); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+
+			streamDir := filepath.Join(base, "stream")
+			streamCapture(t, par, streamDir)
+
+			want := readDirFiles(t, bulkDir)
+			got := readDirFiles(t, streamDir)
+			if len(got) != len(want) {
+				t.Fatalf("streamed dataset has %d files, bulk has %d", len(got), len(want))
+			}
+			for name, w := range want {
+				g, ok := got[name]
+				if !ok {
+					t.Errorf("streamed dataset missing file %s", name)
+					continue
+				}
+				if string(g) != string(w) {
+					t.Errorf("file %s differs between streamed and bulk datasets (%d vs %d bytes)", name, len(g), len(w))
+				}
+			}
+
+			// The streamed dataset restores to the same report and the
+			// same artifact files as the in-memory run.
+			ds, err := dataset.Read(streamDir, nil)
+			if err != nil {
+				t.Fatalf("Read(streamed): %v", err)
+			}
+			s2 := core.NewStudy()
+			rep2, err := dataset.Restore(s2, ds)
+			if err != nil {
+				t.Fatalf("Restore(streamed): %v", err)
+			}
+			if gotR, wantR := rep2.Render(s2), rep.Render(s); gotR != wantR {
+				t.Errorf("restored streamed render differs from in-memory render (%d vs %d bytes)", len(gotR), len(wantR))
+			}
+			gotFiles := artifactFiles(t, s2, rep2)
+			wantFiles := artifactFiles(t, s, rep)
+			if len(gotFiles) != len(wantFiles) {
+				t.Fatalf("streamed restore wrote %d artifact files, want %d", len(gotFiles), len(wantFiles))
+			}
+			for name, w := range wantFiles {
+				if gotFiles[name] != w {
+					t.Errorf("artifact %s differs after streamed round trip", name)
+				}
+			}
+		})
+	}
+}
+
 // TestWriterRefusesOverwrite pins that a capture cannot clobber an
 // existing dataset directory.
 func TestWriterRefusesOverwrite(t *testing.T) {

@@ -334,6 +334,19 @@ func (w *Writer) Close() error {
 	return writeManifest(w.dir, m)
 }
 
+// abort closes every open shard file without sealing a manifest: the
+// directory stays unreadable as a dataset (readers require the
+// manifest), which is the contract for interrupted streaming writes.
+func (w *Writer) abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, sw := range w.shards {
+		_ = sw.finish()
+	}
+}
+
 // shardJob is one shard's worth of bulk-write work: the shard identity
 // plus an emit callback streaming every record belonging to it, in the
 // dataset's canonical section order.

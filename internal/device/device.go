@@ -208,8 +208,18 @@ var (
 // the universe per the plan, and materialises instance configurations.
 func (d *Device) build(u *rootstore.Universe, clk clock.Clock) {
 	d.Roots, d.probeConclusive = buildRootStore(d.ID, d.Plan, u)
-	d.configs = make(map[string][]*tlssim.ClientConfig)
-	d.fallbacks = make(map[string]*tlssim.ClientConfig)
+	d.Finalize(clk)
+}
+
+// Finalize materialises the device's per-slot instance configurations
+// against its root store, which must already be set. It is the
+// exported counterpart of the catalog's build step for externally
+// generated devices (the synthetic fleet), whose root pools are shared
+// across many devices instead of constructed per device. The fallback
+// map is only allocated when a slot declares one, keeping the
+// per-device footprint of fleets lean.
+func (d *Device) Finalize(clk clock.Clock) {
+	d.configs = make(map[string][]*tlssim.ClientConfig, len(d.Slots))
 	for _, s := range d.Slots {
 		cfgs := make([]*tlssim.ClientConfig, len(s.Phases))
 		for i, p := range s.Phases {
@@ -217,6 +227,9 @@ func (d *Device) build(u *rootstore.Universe, clk clock.Clock) {
 		}
 		d.configs[s.Label] = cfgs
 		if s.Fallback != nil {
+			if d.fallbacks == nil {
+				d.fallbacks = make(map[string]*tlssim.ClientConfig)
+			}
 			d.fallbacks[s.Label] = s.Fallback.Template(d.Roots, clk)
 		}
 	}
@@ -422,6 +435,20 @@ func NewRegistry(clk clock.Clock) *Registry {
 	r := &Registry{Devices: devices, Universe: u, byID: make(map[string]*Device)}
 	for _, d := range devices {
 		d.build(u, clk)
+		r.byID[d.ID] = d
+	}
+	return r
+}
+
+// NewRegistryDevices builds a registry around an externally generated
+// device set — the synthetic-fleet path. Devices arrive with their
+// root stores (typically shared pools drawn from u) already set; each
+// is finalised against clk here, exactly as the catalog's build step
+// does after constructing per-device stores.
+func NewRegistryDevices(u *rootstore.Universe, clk clock.Clock, devices []*Device) *Registry {
+	r := &Registry{Devices: devices, Universe: u, byID: make(map[string]*Device, len(devices))}
+	for _, d := range devices {
+		d.Finalize(clk)
 		r.byID[d.ID] = d
 	}
 	return r

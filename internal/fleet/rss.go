@@ -1,0 +1,34 @@
+package fleet
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSKiB reports the process's high-water resident set size in
+// KiB, read from /proc/self/status (VmHWM). It is the measurement
+// behind the fleet smoke target's RSS ceiling and the fleet benchmark:
+// the spill path's claim is that this number grows sublinearly in
+// fleet size. Returns ok=false on platforms without procfs.
+func PeakRSSKiB() (int64, bool) {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0, false
+		}
+		v, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

@@ -63,6 +63,41 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 }
 
+// TestLeaseRenewalHorizonMatchesGrant pins that Grant and Renew derive
+// the expiry horizon from the same canonical TTL. The pre-fix code
+// computed the grant horizon from the raw requested duration but the
+// renewal horizon from the millisecond-truncated TTL field, so the two
+// disagreed by the sub-millisecond remainder — and a sub-millisecond
+// TTL stored as 0 ms, making a renewed lease expire instantly, before
+// the fresh lease it renewed.
+func TestLeaseRenewalHorizonMatchesGrant(t *testing.T) {
+	m, _ := newTestManager(t, 1, 1)
+
+	// A positive request must never canonicalise to a zero TTL.
+	l := m.Grant("coord-test", 500*time.Microsecond)
+	if l.TTL <= 0 {
+		t.Fatalf("sub-millisecond TTL stored as %d ms; renewals would expire instantly", l.TTL)
+	}
+	r, ok := m.Renew(l.ID)
+	if !ok {
+		t.Fatal("Renew failed on a live lease")
+	}
+	if r.Until.Before(l.Until) {
+		t.Fatalf("renewed lease expires at %v, before the fresh horizon %v", r.Until, l.Until)
+	}
+
+	// With a sub-millisecond component on a long TTL, renewal must not
+	// shorten the horizon by the truncated remainder.
+	l2 := m.Grant("coord-test", 5*time.Minute+700*time.Microsecond)
+	r2, ok := m.Renew(l2.ID)
+	if !ok {
+		t.Fatal("Renew failed on a live lease")
+	}
+	if r2.Until.Before(l2.Until) {
+		t.Fatalf("renewal moved the horizon backwards: %v -> %v", l2.Until, r2.Until)
+	}
+}
+
 // TestLeaseExpiryReapsOrphans pins the worker-side half of fabric death
 // detection: when a coordinator's lease expires, the jobs bound to it
 // are cancelled instead of running as orphans.

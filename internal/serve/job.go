@@ -59,6 +59,12 @@ type JobSpec struct {
 	Window       string   `json:"window,omitempty"` // "2018-01..2018-06"
 	Devices      []string `json:"devices,omitempty"`
 
+	// FleetN/FleetSeed replace the 40-device catalog with a synthetic
+	// fleet (see internal/fleet); coordinators set them so sharded
+	// fleet jobs rebuild the exact same devices on every worker.
+	FleetN    int    `json:"fleet_n,omitempty"`
+	FleetSeed uint64 `json:"fleet_seed,omitempty"`
+
 	// Gzip compresses the persisted dataset's shards.
 	Gzip bool `json:"gzip,omitempty"`
 
@@ -294,6 +300,8 @@ func (m *Manager) validate(spec JobSpec) error {
 			FaultProfile: spec.FaultProfile,
 			WindowFrom:   from,
 			WindowTo:     to,
+			FleetN:       spec.FleetN,
+			FleetSeed:    spec.FleetSeed,
 		}
 		return cfg.Validate()
 	case KindAnalyze, KindMerge:
@@ -425,6 +433,8 @@ func (j *Job) config() (core.Config, error) {
 		WindowTo:     to,
 		Devices:      j.Spec.Devices,
 		NoTrace:      j.Spec.NoTrace,
+		FleetN:       j.Spec.FleetN,
+		FleetSeed:    j.Spec.FleetSeed,
 	}, nil
 }
 
@@ -464,10 +474,14 @@ func (m *Manager) Cancel(id, reason string) (*Job, error) {
 	return j, nil
 }
 
-// runStudy executes a full capture+analyze pipeline: simulate, persist
-// the dataset, then render artifacts from the persisted bytes — the
-// exact code path `iotls capture` + `iotls analyze` takes, so serve
-// artifacts are byte-identical to CLI artifacts for the same spec.
+// runStudy executes a full capture+analyze pipeline: simulate with the
+// memory-bounded month-spill path streaming each completed month into
+// the dataset directory, then render artifacts from the persisted
+// bytes — the same bytes `iotls capture` + `iotls analyze` produce for
+// the same spec (the spill path is byte-identical to the bulk one), so
+// serve artifacts are byte-identical to CLI artifacts. Streaming keeps
+// a worker's peak RSS bounded by its largest month even when the job
+// carries a 100k-device synthetic fleet.
 func (j *Job) runStudy() (degraded bool, err error) {
 	cfg, err := j.config()
 	if err != nil {
@@ -493,8 +507,14 @@ func (j *Job) runStudy() (degraded bool, err error) {
 		s.Interrupt()
 	}
 
+	sp, err := dataset.NewSpiller(j.DatasetDir(), s, dataset.Options{Gzip: j.Spec.Gzip, Telemetry: s.Telemetry})
+	if err != nil {
+		return false, err
+	}
+
 	rep, err := s.RunAll()
 	if err != nil {
+		sp.Abort()
 		return false, err
 	}
 	if cancelled, _ := j.cancelRequested(); cancelled {
@@ -502,11 +522,12 @@ func (j *Job) runStudy() (degraded bool, err error) {
 		// persists nothing: the requester — a coordinator discarding a
 		// speculation loser, or the lease janitor reaping an orphan —
 		// must never find a partial dataset where a real one belongs.
+		// Abort tears down the months already spilled to disk.
+		sp.Abort()
 		return rep.Degraded(), nil
 	}
 	degraded = rep.Degraded()
-	ds := dataset.FromStudy(s, rep)
-	if err := dataset.Write(j.DatasetDir(), ds, dataset.Options{Gzip: j.Spec.Gzip, Telemetry: s.Telemetry}); err != nil {
+	if err := sp.Finish(rep); err != nil {
 		return degraded, err
 	}
 	// Render from the persisted dataset through a fresh scaffold, like

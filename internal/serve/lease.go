@@ -22,6 +22,18 @@ type Lease struct {
 // DefaultLeaseTTL applies when a lease is created without one.
 const DefaultLeaseTTL = 10 * time.Second
 
+// canonicalTTL converts a requested TTL into the lease's stored
+// millisecond unit, rounding up so a positive request can never
+// canonicalise to an instantly-expiring lease.
+func canonicalTTL(ttl time.Duration) int64 {
+	return int64((ttl + time.Millisecond - 1) / time.Millisecond)
+}
+
+// ttl is the lease's canonical TTL. Grant and Renew both derive the
+// expiry horizon from it — never from the raw requested duration — so
+// a renewed lease always expires at the same horizon as a fresh one.
+func (l *Lease) ttl() time.Duration { return time.Duration(l.TTL) * time.Millisecond }
+
 // leaseTable tracks the manager's active leases. Expiry is enforced by
 // a lazy janitor goroutine (started on first grant, stopped with the
 // manager) and by ExpireLeases, which tests call directly with a pinned
@@ -48,9 +60,9 @@ func (m *Manager) Grant(owner string, ttl time.Duration) *Lease {
 	l := &Lease{
 		ID:    fmt.Sprintf("lease-%06d", lt.nextID),
 		Owner: owner,
-		TTL:   ttl.Milliseconds(),
-		Until: time.Now().Add(ttl),
+		TTL:   canonicalTTL(ttl),
 	}
+	l.Until = time.Now().Add(l.ttl())
 	lt.leases[l.ID] = l
 	lt.mu.Unlock()
 	m.proc.Counter("serve.leases.granted").Inc()
@@ -68,7 +80,7 @@ func (m *Manager) Renew(id string) (*Lease, bool) {
 	if !ok {
 		return nil, false
 	}
-	l.Until = time.Now().Add(time.Duration(l.TTL) * time.Millisecond)
+	l.Until = time.Now().Add(l.ttl())
 	cp := *l
 	return &cp, true
 }

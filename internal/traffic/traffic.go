@@ -61,6 +61,16 @@ type Generator struct {
 	// whose shards match a clean capture's.
 	Stop func() bool
 
+	// MonthDone, when non-nil, is invoked at each month barrier — after
+	// WaitIdle has joined every sniffer, the server handlers have
+	// drained, and the worker buffers have flushed — with the completed
+	// month. At that point every observation and revocation of the month
+	// is in the store and no later month has begun, which is the spill
+	// point of the streaming engine: the core layer drains the month from
+	// the store and appends it to the dataset, bounding peak memory by
+	// one month's traffic. An error aborts the run.
+	MonthDone func(m clock.Month) error
+
 	// seq numbers every planned connection. It only advances during
 	// single-threaded work enumeration; workers read the pre-assigned
 	// values, so no handshake's randoms depend on scheduling.
@@ -201,6 +211,13 @@ func (g *Generator) Run(first, last clock.Month) (*Stats, error) {
 		g.Collector.UnbindAll()
 		for _, b := range bufs {
 			b.Flush()
+		}
+		if g.MonthDone != nil {
+			if err := g.MonthDone(m); err != nil {
+				sp.End("spill_failed")
+				msp.End("spill_failed")
+				return stats, fmt.Errorf("traffic: month %s barrier: %w", m, err)
+			}
 		}
 		stats.Months++
 		tel.Counter("traffic.months").Inc()
